@@ -1,0 +1,70 @@
+// Ablation — adaptive group-size selection (parcoll_num_groups = auto).
+//
+// The paper leaves "adaptively choosing the best group size" to future
+// work. Our heuristic (core/file_area.hpp: every clean split the least
+// group size permits; ~sqrt(P) groups under the intermediate view) is
+// compared here against the baseline and against the best hand-tuned group
+// count for each workload.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "core/file_area.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/tileio.hpp"
+
+int main() {
+  using namespace parcoll;
+  using namespace parcoll::bench;
+
+  header("Ablation: adaptive group size",
+         "auto vs hand-tuned subgroup counts");
+  std::printf("  %-14s %12s %12s %16s\n", "workload", "baseline",
+              "hand-tuned", "auto (groups)");
+
+  {
+    const int nprocs = 512;
+    const auto config = workloads::TileIOConfig::paper(nprocs);
+    const auto base =
+        workloads::run_tileio(config, nprocs, baseline_spec(), true);
+    const auto tuned = workloads::run_tileio(
+        config, nprocs, parcoll_spec(nprocs / 8), true);
+    const auto automatic = workloads::run_tileio(
+        config, nprocs, parcoll_spec(core::kAutoGroups), true);
+    std::printf("  %-14s %10.1f %12.1f %12.1f (%d)\n", "tile-io/512",
+                base.bandwidth_mib(), tuned.bandwidth_mib(),
+                automatic.bandwidth_mib(), automatic.stats.last_num_groups);
+  }
+  {
+    const int nprocs = 256;
+    workloads::IorConfig config;
+    config.block_size = 128ull << 20;
+    const auto base = workloads::run_ior(config, nprocs, baseline_spec(), true);
+    const auto tuned =
+        workloads::run_ior(config, nprocs, parcoll_spec(32), true);
+    const auto automatic = workloads::run_ior(
+        config, nprocs, parcoll_spec(core::kAutoGroups), true);
+    std::printf("  %-14s %10.1f %12.1f %12.1f (%d)\n", "ior/256",
+                base.bandwidth_mib(), tuned.bandwidth_mib(),
+                automatic.bandwidth_mib(), automatic.stats.last_num_groups);
+  }
+  {
+    const int nprocs = 256;
+    workloads::BtIOConfig config;
+    config.nsteps = 2;
+    const int nc = static_cast<int>(std::lround(std::sqrt(nprocs)));
+    const auto base = workloads::run_btio(config, nprocs, baseline_spec(), true);
+    auto tuned_spec = parcoll_spec(nprocs / nc);
+    tuned_spec.cb_nodes = nprocs / nc;
+    const auto tuned = workloads::run_btio(config, nprocs, tuned_spec, true);
+    auto auto_spec = parcoll_spec(core::kAutoGroups);
+    auto_spec.cb_nodes = nc;  // one aggregator node per expected subgroup
+    const auto automatic = workloads::run_btio(config, nprocs, auto_spec, true);
+    std::printf("  %-14s %10.1f %12.1f %12.1f (%d)\n", "bt-io/256",
+                base.bandwidth_mib(), tuned.bandwidth_mib(),
+                automatic.bandwidth_mib(), automatic.stats.last_num_groups);
+  }
+  footnote("auto lands on the clean-split count (tile-io, ior) and on");
+  footnote("sqrt(P) intermediate groups (bt-io) without hand tuning");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Ablation — persistent subgroup partitions.
+//
+// This implementation ties the partition to file-view initiation (as the
+// paper does for pattern detection) and caches it across collective calls.
+// Re-partitioning on every call inserts a global exchange per call, which
+// re-synchronizes all subgroups and forfeits the inter-group drift that
+// lets ParColl pipeline around slow storage epochs. IOR (many collective
+// calls) makes the difference stark.
+#include "bench/common.hpp"
+#include "workloads/ior.hpp"
+
+int main() {
+  using namespace parcoll;
+  using namespace parcoll::bench;
+
+  const int nprocs = 256;
+  workloads::IorConfig config;
+  config.block_size = 256ull << 20;  // 64 collective calls per process
+
+  header("Ablation: persistent subgroups",
+         "IOR, 64 collective calls per process (P=256)");
+  row("Cray (ext2ph)",
+      workloads::run_ior(config, nprocs, baseline_spec(), true));
+  for (int groups : {8, 32}) {
+    auto persistent = parcoll_spec(groups);
+    row("ParColl-" + std::to_string(groups) + " persistent",
+        workloads::run_ior(config, nprocs, persistent, true));
+    auto per_call = parcoll_spec(groups);
+    per_call.persistent_groups = false;
+    row("ParColl-" + std::to_string(groups) + " per-call",
+        workloads::run_ior(config, nprocs, per_call, true));
+  }
+  footnote("per-call partitioning re-couples all groups on every call and");
+  footnote("loses most of the drift benefit");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared scaffolding for the figure-reproduction benches: table printing
+// and the standard run configurations (series named as in the paper:
+// "Cray" = plain ext2ph with default hints, "ParColl-N" = N subgroups,
+// "Cray w/o Coll" = POSIX-style independent writes).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "workloads/runner.hpp"
+
+namespace parcoll::bench {
+
+inline void header(const std::string& figure, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void footnote(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+/// A row of the standard bandwidth table.
+inline void row(const std::string& series, const workloads::RunResult& result) {
+  std::printf("  %-22s %10.1f MiB/s  elapsed %8.3f s  sync %5.1f%%\n",
+              series.c_str(), result.bandwidth_mib(), result.elapsed,
+              100.0 * result.sync_fraction());
+}
+
+/// The per-category breakdown row (Fig. 2 style), seconds summed over ranks.
+inline void breakdown_row(int nprocs, const workloads::RunResult& result) {
+  using mpi::TimeCat;
+  std::printf("  %6d %10.2f %10.2f %10.2f %10.2f %10.2f  %5.1f%%\n", nprocs,
+              result.sum[TimeCat::Compute], result.sum[TimeCat::P2P],
+              result.sum[TimeCat::Sync], result.sum[TimeCat::IO],
+              result.sum.total(), 100.0 * result.sync_fraction());
+}
+
+inline workloads::RunSpec baseline_spec() {
+  workloads::RunSpec spec;
+  spec.impl = workloads::Impl::Ext2ph;
+  spec.byte_true = false;
+  return spec;
+}
+
+inline workloads::RunSpec parcoll_spec(int groups, int min_group_size = 8) {
+  workloads::RunSpec spec;
+  spec.impl = workloads::Impl::ParColl;
+  spec.parcoll_groups = groups;
+  spec.min_group_size = min_group_size;
+  spec.byte_true = false;
+  return spec;
+}
+
+inline workloads::RunSpec posix_spec() {
+  workloads::RunSpec spec;
+  spec.impl = workloads::Impl::PosixIndependent;
+  spec.byte_true = false;
+  return spec;
+}
+
+}  // namespace parcoll::bench

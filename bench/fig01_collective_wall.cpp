@@ -1,0 +1,30 @@
+// Figure 1 — "The Collective Wall in Collective IO".
+//
+// MPI-Tile-IO (1024x768 tiles of 64-byte elements, one tile per process)
+// under the plain extended two-phase protocol: the share of total time
+// spent in global synchronization grows with the process count until it
+// dominates file reads/writes. The paper reports 72% at 512 processes on
+// Jaguar; the shape — monotone growth toward dominance — is the target.
+#include "bench/common.hpp"
+#include "workloads/tileio.hpp"
+
+int main() {
+  using namespace parcoll;
+  using namespace parcoll::bench;
+
+  header("Figure 1", "the collective wall: sync share of MPI-Tile-IO time");
+  std::printf("  %6s %12s %12s %12s\n", "nprocs", "sync share", "io share",
+              "bandwidth");
+  for (int nprocs : {32, 64, 128, 256, 512}) {
+    const auto config = workloads::TileIOConfig::paper(nprocs);
+    const auto result =
+        workloads::run_tileio(config, nprocs, baseline_spec(), /*write=*/true);
+    const double total = result.sum.total();
+    std::printf("  %6d %11.1f%% %11.1f%% %9.1f MiB/s\n", nprocs,
+                100.0 * result.sync_fraction(),
+                100.0 * result.sum[mpi::TimeCat::IO] / total,
+                result.bandwidth_mib());
+  }
+  footnote("paper: sync grows to dominance, 72% of total at 512 processes");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 2 — "Collective I/O Time Breakdown".
+//
+// The same MPI-Tile-IO sweep as Figure 1, decomposed into the paper's
+// processing components: point-to-point data exchange, file I/O, and
+// process synchronization (plus local compute). Synchronization must grow
+// much faster than the other components as the process count rises.
+#include "bench/common.hpp"
+#include "workloads/tileio.hpp"
+
+int main() {
+  using namespace parcoll;
+  using namespace parcoll::bench;
+
+  header("Figure 2",
+         "MPI-Tile-IO time breakdown (seconds, summed over ranks)");
+  std::printf("  %6s %10s %10s %10s %10s %10s %6s\n", "nprocs", "compute",
+              "p2p", "sync", "io", "total", "sync%");
+  double prev_sync = 0;
+  double prev_io = 0;
+  for (int nprocs : {32, 64, 128, 256, 512}) {
+    const auto config = workloads::TileIOConfig::paper(nprocs);
+    const auto result =
+        workloads::run_tileio(config, nprocs, baseline_spec(), /*write=*/true);
+    breakdown_row(nprocs, result);
+    prev_sync = result.sum[mpi::TimeCat::Sync];
+    prev_io = result.sum[mpi::TimeCat::IO];
+  }
+  (void)prev_sync;
+  (void)prev_io;
+  footnote("paper: sync grows much faster than p2p and file I/O with nprocs");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 8 — "Reduction of Synchronization Cost".
+//
+// The same MPI-Tile-IO sweep as Figure 7, reporting the synchronization
+// cost in absolute terms (seconds summed over ranks) and as a share of
+// total time. ParColl must reduce both, until extreme over-partitioning
+// trades the win away.
+#include "bench/common.hpp"
+#include "workloads/tileio.hpp"
+
+int main() {
+  using namespace parcoll;
+  using namespace parcoll::bench;
+
+  const int nprocs = 512;
+  const auto config = workloads::TileIOConfig::paper(nprocs);
+  header("Figure 8", "synchronization cost vs number of subgroups (P=512)");
+  std::printf("  %-22s %14s %12s\n", "series", "sync (rank-s)", "sync share");
+
+  const auto print = [](const std::string& series,
+                        const workloads::RunResult& result) {
+    std::printf("  %-22s %12.2f s %11.1f%%\n", series.c_str(),
+                result.sum[mpi::TimeCat::Sync],
+                100.0 * result.sync_fraction());
+  };
+  print("Cray (ext2ph)",
+        workloads::run_tileio(config, nprocs, baseline_spec(), true));
+  for (int groups : {2, 4, 8, 16, 32, 64}) {
+    print("ParColl-" + std::to_string(groups),
+          workloads::run_tileio(config, nprocs, parcoll_spec(groups), true));
+  }
+  footnote("paper: sync reduced in both absolute value and relative ratio");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Periodic checkpointing, Flash-style: an AMR "simulation" holds guarded
+// blocks of zones in memory and periodically dumps every variable to a
+// shared checkpoint file with partitioned collective I/O.
+//
+// Demonstrates: non-contiguous memory datatypes (guard-cell interiors),
+// interleaved dataset layouts via file views, repeated collective calls
+// reusing one persistent subgroup partition, and the per-file close
+// summary.
+#include <cstdio>
+#include <vector>
+
+#include "core/parcoll.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/runtime.hpp"
+#include "mpiio/file.hpp"
+
+namespace {
+
+constexpr int kRanks = 32;
+constexpr int kZones = 8;    // interior zones per block side
+constexpr int kGuard = 2;    // guard cells per side
+constexpr int kBlocks = 4;   // blocks per rank
+constexpr int kVars = 6;     // checkpointed variables
+constexpr int kSteps = 3;    // checkpoints written
+
+using parcoll::dtype::Datatype;
+
+/// The nxb^3 interior of a guarded block.
+Datatype interior() {
+  const std::int64_t full = kZones + 2 * kGuard;
+  const std::int64_t sizes[3] = {full, full, full};
+  const std::int64_t subsizes[3] = {kZones, kZones, kZones};
+  const std::int64_t starts[3] = {kGuard, kGuard, kGuard};
+  return Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(8));
+}
+
+/// One variable's dataset: this rank's blocks interleave with everyone
+/// else's by global block id (AMR ordering).
+Datatype dataset_slots(int rank) {
+  const std::uint64_t block_bytes =
+      static_cast<std::uint64_t>(kZones) * kZones * kZones * 8;
+  std::vector<parcoll::dtype::Segment> slots;
+  for (int b = 0; b < kBlocks; ++b) {
+    const std::int64_t slot = static_cast<std::int64_t>(b) * kRanks + rank;
+    slots.push_back({slot * static_cast<std::int64_t>(block_bytes),
+                     block_bytes});
+  }
+  return Datatype::from_segments(
+      std::move(slots), 0,
+      static_cast<std::int64_t>(block_bytes) * kRanks * kBlocks);
+}
+
+}  // namespace
+
+int main() {
+  using namespace parcoll;
+  mpi::World world(machine::MachineModel::jaguar(kRanks));
+
+  mpiio::Hints hints;
+  hints.parcoll_num_groups = 8;
+  hints.parcoll_min_group_size = 4;
+
+  world.run([&](mpi::Rank& self) {
+    const Datatype memtype = interior();
+    const std::uint64_t guarded =
+        static_cast<std::uint64_t>(memtype.extent()) * kBlocks;
+    std::vector<double> zones(guarded / sizeof(double), 0.0);
+    const std::uint64_t var_etypes =
+        static_cast<std::uint64_t>(kZones) * kZones * kZones * kBlocks;
+
+    for (int step = 0; step < kSteps; ++step) {
+      // "Advance the simulation": touch the interior zones.
+      for (auto& z : zones) z += 1.0;
+
+      char name[64];
+      std::snprintf(name, sizeof(name), "flash_chk_%04d", step);
+      mpiio::FileHandle file(self, self.comm_world(), name, hints);
+      file.set_view(0, 8, dataset_slots(self.rank()));
+
+      const double t0 = self.now();
+      for (int v = 0; v < kVars; ++v) {
+        core::write_at_all(file, static_cast<std::uint64_t>(v) * var_etypes,
+                           zones.data(), kBlocks, memtype);
+      }
+      mpi::barrier(self, self.comm_world());
+      if (self.rank() == 0) {
+        const auto& stats = file.stats();
+        std::printf("checkpoint %d: %.1f MiB in %.4f s (groups=%d)\n", step,
+                    static_cast<double>(stats.bytes_written) / (1 << 20),
+                    self.now() - t0, stats.last_num_groups);
+      }
+      if (step == kSteps - 1 && self.rank() == 0) {
+        std::printf("%s\n", file.stats().summary(name).c_str());
+      }
+      file.close();
+    }
+
+    // Restart: read the last checkpoint back collectively and check that
+    // the recovered zones match the final simulation state.
+    {
+      char name[64];
+      std::snprintf(name, sizeof(name), "flash_chk_%04d", kSteps - 1);
+      mpiio::FileHandle file(self, self.comm_world(), name, hints,
+                             mpiio::kModeRdonly);
+      file.set_view(0, 8, dataset_slots(self.rank()));
+      std::vector<double> recovered(zones.size(), 0.0);
+      core::read_at_all(file, 0, recovered.data(), kBlocks, memtype);
+      // Interior zones must equal the written state (kSteps increments);
+      // guard cells were never written and stay zero.
+      bool ok = true;
+      const auto interior_type = interior();
+      for (const auto& seg : interior_type.segments()) {
+        for (std::uint64_t b = 0; ok && b < seg.length / 8; ++b) {
+          const auto index =
+              (static_cast<std::uint64_t>(seg.disp) + b * 8) / 8;
+          if (recovered[index] != static_cast<double>(kSteps)) ok = false;
+        }
+      }
+      if (self.rank() == 0) {
+        std::printf("restart: recovered state %s\n",
+                    ok ? "verified" : "MISMATCH");
+      }
+      file.close();
+    }
+  });
+  std::printf("simulated wall time: %.4f s\n", world.elapsed());
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Group-size explorer: sweep ParColl-N over a workload and report, for each
+// N, the partition the planner actually chose (mode, groups, aggregators)
+// and the resulting bandwidth — the empirical tuning loop the paper
+// recommends ("we empirically evaluate the impact of the group size...
+// leaving the examination of an optimal group size to a future study").
+//
+// Usage: group_size_explorer [nranks]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/parcoll.hpp"
+#include "workloads/tileio.hpp"
+
+int main(int argc, char** argv) {
+  using namespace parcoll;
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 128;
+  const auto config = workloads::TileIOConfig::paper(nranks);
+
+  std::printf("MPI-Tile-IO, %d ranks, %.1f MiB per rank\n", nranks,
+              static_cast<double>(config.rank_bytes()) / (1 << 20));
+  std::printf("%-10s %-18s %10s %8s\n", "requested", "mode/groups",
+              "MiB/s", "sync%");
+
+  workloads::RunSpec base;
+  base.impl = workloads::Impl::Ext2ph;
+  base.byte_true = false;
+  const auto baseline = workloads::run_tileio(config, nranks, base, true);
+  std::printf("%-10s %-18s %10.1f %7.1f%%\n", "baseline", "-",
+              baseline.bandwidth_mib(), 100 * baseline.sync_fraction());
+
+  for (int groups = 2; groups <= nranks / 2; groups *= 2) {
+    workloads::RunSpec spec;
+    spec.impl = workloads::Impl::ParColl;
+    spec.parcoll_groups = groups;
+    spec.min_group_size = 2;
+    spec.byte_true = false;
+    const auto result = workloads::run_tileio(config, nranks, spec, true);
+    char mode[32];
+    std::snprintf(mode, sizeof(mode), "%s/%d",
+                  result.stats.view_switches ? "intermediate" : "direct",
+                  result.stats.last_num_groups);
+    std::printf("%-10d %-18s %10.1f %7.1f%%\n", groups, mode,
+                result.bandwidth_mib(), 100 * result.sync_fraction());
+  }
+  std::printf("pick the knee: more groups cut synchronization until\n"
+              "over-partitioning forfeits aggregation (paper Fig. 7)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: 16 simulated ranks collectively write a shared file with
+// ParColl, then read it back and verify.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/parcoll.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/runtime.hpp"
+#include "mpiio/file.hpp"
+
+int main() {
+  using namespace parcoll;
+
+  // A Jaguar-like simulated machine: 16 ranks on 8 dual-core nodes, a
+  // Lustre-like file system, byte-true storage (the default) so we can
+  // verify what lands on disk.
+  mpi::World world(machine::MachineModel::jaguar(16));
+
+  // MPI-IO hints: ask ParColl for 4 subgroups of at least 4 ranks.
+  mpiio::Hints hints;
+  hints.set("parcoll_num_groups", "4");
+  hints.set("parcoll_min_group_size", "4");
+
+  bool ok = true;
+  world.run([&](mpi::Rank& self) {
+    // Collective open, like MPI_File_open on MPI_COMM_WORLD.
+    mpiio::FileHandle file(self, self.comm_world(), "quickstart.dat", hints);
+
+    // Each rank owns a contiguous 64 KiB block (IOR-style layout).
+    constexpr std::uint64_t kBlock = 64 * 1024;
+    std::vector<unsigned char> data(kBlock);
+    std::iota(data.begin(), data.end(),
+              static_cast<unsigned char>(self.rank()));
+
+    // Partitioned collective write through the (default, byte) view.
+    const auto outcome = core::write_at_all(
+        file, self.rank() * kBlock, data.data(), 1,
+        dtype::Datatype::bytes(kBlock));
+    if (self.rank() == 0) {
+      std::printf("write: mode=%s groups=%d cycles=%llu\n",
+                  core::to_string(outcome.mode), outcome.num_groups,
+                  static_cast<unsigned long long>(outcome.cycles));
+    }
+    mpi::barrier(self, self.comm_world());
+
+    // Read a neighbour's block back collectively and check it.
+    const int neighbour = (self.rank() + 1) % self.size();
+    std::vector<unsigned char> back(kBlock);
+    core::read_at_all(file, neighbour * kBlock, back.data(), 1,
+                      dtype::Datatype::bytes(kBlock));
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      if (back[i] != static_cast<unsigned char>(neighbour + i)) {
+        ok = false;
+        break;
+      }
+    }
+
+    // The paper's close-time summary.
+    if (self.rank() == 0) {
+      std::printf("%s\n", file.stats().summary(file.name()).c_str());
+    }
+    file.close();
+  });
+
+  std::printf("verification: %s\n", ok ? "PASSED" : "FAILED");
+  std::printf("virtual time: %.6f s\n", world.elapsed());
+  return ok ? 0 : 1;
+}

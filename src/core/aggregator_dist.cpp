@@ -1,0 +1,109 @@
+#include "core/aggregator_dist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace parcoll::core {
+
+std::vector<int> aggregator_node_list(const machine::Topology& topology,
+                                      const mpi::Comm& comm,
+                                      const std::vector<int>& explicit_nodes,
+                                      int cb_nodes) {
+  std::vector<int> nodes;
+  if (!explicit_nodes.empty()) {
+    nodes = explicit_nodes;
+  } else {
+    std::vector<bool> seen(static_cast<std::size_t>(topology.num_nodes()), false);
+    for (int local = 0; local < comm.size(); ++local) {
+      const int node = topology.node_of(comm.world_rank(local));
+      if (!seen[static_cast<std::size_t>(node)]) {
+        seen[static_cast<std::size_t>(node)] = true;
+        nodes.push_back(node);
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+  }
+  if (cb_nodes > 0 && static_cast<std::size_t>(cb_nodes) < nodes.size()) {
+    nodes.resize(static_cast<std::size_t>(cb_nodes));
+  }
+  return nodes;
+}
+
+std::vector<std::vector<int>> distribute_aggregators(
+    const machine::Topology& topology, const mpi::Comm& comm,
+    const std::vector<int>& aggregator_nodes,
+    const std::vector<int>& group_of_rank, int num_groups) {
+  if (static_cast<int>(group_of_rank.size()) != comm.size()) {
+    throw std::invalid_argument(
+        "distribute_aggregators: group map size != comm size");
+  }
+  // Lowest comm-local rank per (node, group).
+  std::unordered_map<std::int64_t, int> lowest_member;
+  const auto key = [](int node, int group) {
+    return static_cast<std::int64_t>(node) * 1000000 + group;
+  };
+  for (int local = 0; local < comm.size(); ++local) {
+    const int node = topology.node_of(comm.world_rank(local));
+    const int group = group_of_rank[static_cast<std::size_t>(local)];
+    auto [it, inserted] = lowest_member.emplace(key(node, group), local);
+    if (!inserted) {
+      it->second = std::min(it->second, local);
+    }
+  }
+
+  std::vector<std::vector<int>> result(static_cast<std::size_t>(num_groups));
+  std::vector<bool> node_taken(static_cast<std::size_t>(topology.num_nodes()),
+                               false);
+  std::vector<bool> exhausted(static_cast<std::size_t>(num_groups), false);
+
+  // Round-robin over subgroups until no subgroup can take another node.
+  int remaining = num_groups;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (int g = 0; g < num_groups; ++g) {
+      if (exhausted[static_cast<std::size_t>(g)]) continue;
+      bool assigned = false;
+      for (int node : aggregator_nodes) {
+        if (node < 0 || node >= topology.num_nodes()) {
+          throw std::out_of_range("distribute_aggregators: bad node id");
+        }
+        if (node_taken[static_cast<std::size_t>(node)]) continue;
+        auto it = lowest_member.find(key(node, g));
+        if (it == lowest_member.end()) continue;  // no member of g there
+        node_taken[static_cast<std::size_t>(node)] = true;
+        result[static_cast<std::size_t>(g)].push_back(it->second);
+        assigned = true;
+        progressed = true;
+        break;
+      }
+      if (!assigned) {
+        exhausted[static_cast<std::size_t>(g)] = true;
+        --remaining;
+      }
+    }
+    if (!progressed && remaining > 0) {
+      // Every non-exhausted group failed this round; nothing more to give.
+      break;
+    }
+  }
+
+  // Requirement (a): promote the lowest-ranked member of any group the
+  // node list could not serve.
+  std::vector<int> lowest_in_group(static_cast<std::size_t>(num_groups), -1);
+  for (int local = 0; local < comm.size(); ++local) {
+    auto& low = lowest_in_group[static_cast<std::size_t>(
+        group_of_rank[static_cast<std::size_t>(local)])];
+    if (low < 0) low = local;
+  }
+  for (int g = 0; g < num_groups; ++g) {
+    auto& aggregators = result[static_cast<std::size_t>(g)];
+    if (aggregators.empty() && lowest_in_group[static_cast<std::size_t>(g)] >= 0) {
+      aggregators.push_back(lowest_in_group[static_cast<std::size_t>(g)]);
+    }
+    std::sort(aggregators.begin(), aggregators.end());
+  }
+  return result;
+}
+
+}  // namespace parcoll::core

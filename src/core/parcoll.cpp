@@ -1,0 +1,284 @@
+#include "core/parcoll.hpp"
+
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/intermediate_view.hpp"
+#include "core/subgroup.hpp"
+#include "mpi/collectives.hpp"
+#include "mpiio/ext2ph.hpp"
+#include "mpiio/sieve.hpp"
+
+namespace parcoll::core {
+
+namespace {
+
+using Ext2phOutcomePair = std::pair<std::uint64_t, std::uint64_t>;
+
+RankAccess access_of(const mpiio::PreparedRequest& request) {
+  RankAccess access;
+  if (!request.extents.empty()) {
+    access.st = request.extents.front().offset;
+    access.end = request.extents.back().end();
+  }
+  access.bytes = request.bytes;
+  return access;
+}
+
+/// The per-handle cached partition: established by the first ParColl call
+/// after a view is set, reused by later calls so that subgroups only ever
+/// synchronize among themselves and drift independently through time.
+struct PlanCache {
+  SubgroupPlan plan;
+};
+
+Ext2phOutcomePair run_ext2ph(mpi::Rank& self, const mpi::Comm& comm,
+                             mpiio::IoTarget& target,
+                             const mpiio::CollRequest& request,
+                             const mpiio::Ext2phOptions& options,
+                             bool is_write) {
+  const auto result = is_write
+                          ? mpiio::ext2ph_write(self, comm, target, request,
+                                                options)
+                          : mpiio::ext2ph_read(self, comm, target, request,
+                                               options);
+  return {result.cycles, result.rmw_reads};
+}
+
+}  // namespace
+
+/// Everything write and read share: plan (or reuse) the partition, build
+/// the target, and run ext2ph in the right space. Handle-independent: the
+/// cache slot may be null (no partition reuse), which is how split
+/// collectives' helper fibers call it.
+CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
+                                        const mpiio::Hints& hints, int fs_id,
+                                        mpiio::PreparedRequest& prep,
+                                        bool is_write,
+                                        std::shared_ptr<void>* cache_slot) {
+  auto& fs = self.world().fs();
+
+  mpiio::Ext2phOptions options;
+  options.cb_buffer_size = hints.cb_buffer_size;
+  if (hints.cb_fd_align) {
+    options.fd_alignment = fs.meta(fs_id).stripe_size;
+  }
+
+  CollectiveOutcome outcome;
+  outcome.bytes = prep.bytes;
+
+  const bool cb_enabled = is_write ? hints.cb_write_enabled
+                                   : hints.cb_read_enabled;
+  if (!cb_enabled) {
+    // romio_cb_write/read=disable: the collective call is serviced locally
+    // with data sieving, exactly as ROMIO degrades it. No coordination.
+    mpiio::DirectTarget target(fs, fs_id);
+    if (prep.extents.size() <= 1) {
+      if (is_write) {
+        target.write(self, prep.extents, prep.data());
+      } else {
+        target.read(self, prep.extents,
+                    prep.packed.empty() ? nullptr : prep.packed.data());
+      }
+    } else {
+      mpiio::sieve_rmw(self, fs_id, prep, is_write);
+    }
+    return outcome;
+  }
+
+  const ParcollSettings settings = ParcollSettings::from(hints);
+  if (!settings.enabled()) {
+    // Plain extended two-phase over the whole group (the baseline).
+    options.aggregators = mpiio::default_aggregators(
+        self.world().model().topology, comm, hints);
+    mpiio::DirectTarget target(fs, fs_id);
+    const mpiio::CollRequest request{prep.extents, prep.data()};
+    std::tie(outcome.cycles, outcome.rmw_reads) =
+        run_ext2ph(self, comm, target, request, options, is_write);
+    return outcome;
+  }
+
+  // Establish (or reuse) the partition. Only the establishing call pays a
+  // global exchange; with persistent groups, later calls on the same view
+  // go straight to their subgroup.
+  std::shared_ptr<PlanCache> cache;
+  if (cache_slot != nullptr) {
+    cache = std::static_pointer_cast<PlanCache>(*cache_slot);
+  }
+  if (!cache || !hints.parcoll_persistent_groups) {
+    const auto accesses = mpi::allgather(self, comm, access_of(prep));
+    auto fresh = std::make_shared<PlanCache>();
+    fresh->plan = form_subgroups(self, comm, accesses, hints);
+    if (fresh->plan.fa.mode == PartitionMode::Direct) {
+      // Establishing-call invariant: my extents lie in my File Area (the
+      // partition was built from clean split points).
+      const auto [fa_lo, fa_hi] =
+          fresh->plan.fa
+              .areas[static_cast<std::size_t>(fresh->plan.my_group)];
+      if (!prep.extents.empty() &&
+          (prep.extents.front().offset < fa_lo ||
+           prep.extents.back().end() > fa_hi)) {
+        throw std::logic_error("parcoll: request escapes its File Area");
+      }
+    }
+    cache = fresh;
+    if (cache_slot != nullptr) {
+      *cache_slot = cache;
+    }
+  }
+  const SubgroupPlan& plan = cache->plan;
+  outcome.mode = plan.fa.mode;
+  outcome.num_groups = plan.fa.num_groups;
+  options.aggregators = plan.sub_aggregators;
+
+  if (plan.fa.mode == PartitionMode::SingleGroup) {
+    mpiio::DirectTarget target(fs, fs_id);
+    const mpiio::CollRequest request{prep.extents, prep.data()};
+    std::tie(outcome.cycles, outcome.rmw_reads) =
+        run_ext2ph(self, comm, target, request, options, is_write);
+    return outcome;
+  }
+
+  if (plan.fa.mode == PartitionMode::Direct) {
+    mpiio::DirectTarget target(fs, fs_id);
+    const mpiio::CollRequest request{prep.extents, prep.data()};
+    std::tie(outcome.cycles, outcome.rmw_reads) =
+        run_ext2ph(self, plan.subcomm, target, request, options, is_write);
+    return outcome;
+  }
+
+  // Intermediate view (pattern c). Share the members' physical extents
+  // within the subgroup so aggregators can resolve intermediate ranges.
+  // The intermediate coordinate space is subgroup-local (each group's
+  // space starts at 0): groups touch disjoint physical segments, so their
+  // spaces are independent and no global exchange is needed per call.
+  const auto member_extents =
+      mpi::allgatherv(self, plan.subcomm, prep.extents);
+  std::vector<MemberSegments> members;
+  members.reserve(member_extents.size());
+  std::uint64_t inter_pos = 0;
+  std::uint64_t my_inter_start = 0;
+  const int sub_me = plan.subcomm.local_rank(self.rank());
+  for (int sub_local = 0; sub_local < plan.subcomm.size(); ++sub_local) {
+    MemberSegments member;
+    member.inter_start = inter_pos;
+    member.extents = member_extents[static_cast<std::size_t>(sub_local)];
+    if (sub_local == sub_me) {
+      my_inter_start = inter_pos;
+    }
+    for (const fs::Extent& extent : member.extents) {
+      inter_pos += extent.length;
+    }
+    members.push_back(std::move(member));
+  }
+  IntermediateTarget target(fs, fs_id,
+                            IntermediateMap(std::move(members)));
+
+  mpiio::CollRequest request;
+  if (prep.bytes > 0) {
+    request.extents.push_back(fs::Extent{my_inter_start, prep.bytes});
+  }
+  request.data = prep.data();
+  std::tie(outcome.cycles, outcome.rmw_reads) =
+      run_ext2ph(self, plan.subcomm, target, request, options, is_write);
+  return outcome;
+}
+
+namespace {
+CollectiveOutcome run_partitioned(mpiio::FileHandle& file,
+                                  mpiio::PreparedRequest& prep,
+                                  bool is_write) {
+  return run_collective_engine(file.self(), file.comm(), file.hints(),
+                               file.fs_id(), prep, is_write,
+                               &file.engine_cache());
+}
+}  // namespace
+
+CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
+                               const void* buffer, std::uint64_t count,
+                               const dtype::Datatype& memtype) {
+  file.require_writable();
+  const auto before = file.time_snapshot();
+  mpiio::PreparedRequest prep =
+      file.prepare_write(offset, buffer, count, memtype);
+  const CollectiveOutcome outcome = run_partitioned(file, prep, true);
+
+  mpiio::FileStats delta;
+  delta.time = mpiio::FileHandle::time_delta(before, file.time_snapshot());
+  delta.bytes_written = outcome.bytes;
+  delta.exchange_cycles = outcome.cycles;
+  delta.rmw_reads = outcome.rmw_reads;
+  // Call-level counters are recorded once per collective call, by the
+  // call's first rank; per-rank quantities (time, bytes, cycles) sum.
+  if (file.comm().local_rank(file.self().rank()) == 0) {
+    delta.collective_writes = 1;
+    delta.parcoll_calls =
+        ParcollSettings::from(file.hints()).enabled() ? 1 : 0;
+    delta.view_switches = outcome.mode == PartitionMode::Intermediate ? 1 : 0;
+    delta.last_num_groups = outcome.num_groups;
+  }
+  file.add_stats(delta);
+  return outcome;
+}
+
+CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
+                              void* buffer, std::uint64_t count,
+                              const dtype::Datatype& memtype) {
+  file.require_readable();
+  const auto before = file.time_snapshot();
+  mpiio::PreparedRequest prep =
+      file.prepare_read(offset, buffer, count, memtype);
+  const CollectiveOutcome outcome = run_partitioned(file, prep, false);
+  file.finish_read(prep, buffer, count, memtype);
+
+  mpiio::FileStats delta;
+  delta.time = mpiio::FileHandle::time_delta(before, file.time_snapshot());
+  delta.bytes_read = outcome.bytes;
+  delta.exchange_cycles = outcome.cycles;
+  delta.rmw_reads = outcome.rmw_reads;
+  if (file.comm().local_rank(file.self().rank()) == 0) {
+    delta.collective_reads = 1;
+    delta.parcoll_calls =
+        ParcollSettings::from(file.hints()).enabled() ? 1 : 0;
+    delta.view_switches = outcome.mode == PartitionMode::Intermediate ? 1 : 0;
+    delta.last_num_groups = outcome.num_groups;
+  }
+  file.add_stats(delta);
+  return outcome;
+}
+
+CollectiveOutcome write_all(mpiio::FileHandle& file, const void* buffer,
+                            std::uint64_t count,
+                            const dtype::Datatype& memtype) {
+  const auto outcome =
+      write_at_all(file, file.position(), buffer, count, memtype);
+  file.advance_bytes(count * memtype.size());
+  return outcome;
+}
+
+CollectiveOutcome read_all(mpiio::FileHandle& file, void* buffer,
+                           std::uint64_t count, const dtype::Datatype& memtype) {
+  const auto outcome =
+      read_at_all(file, file.position(), buffer, count, memtype);
+  file.advance_bytes(count * memtype.size());
+  return outcome;
+}
+
+ParcollDecision plan_decision(mpiio::FileHandle& file, std::uint64_t offset,
+                              std::uint64_t count,
+                              const dtype::Datatype& memtype) {
+  auto& self = file.self();
+  const mpi::Comm& comm = file.comm();
+  mpiio::PreparedRequest prep =
+      file.prepare_read(offset, nullptr, count, memtype);
+  const auto accesses = mpi::allgather(self, comm, access_of(prep));
+  const SubgroupPlan plan = form_subgroups(self, comm, accesses, file.hints());
+  ParcollDecision decision;
+  decision.mode = plan.fa.mode;
+  decision.num_groups = plan.fa.num_groups;
+  decision.aggregators_per_group = plan.aggs_per_group;
+  return decision;
+}
+
+}  // namespace parcoll::core

@@ -1,0 +1,69 @@
+// ParColl: partitioned collective I/O — the public collective entry points.
+//
+// write_at_all / read_at_all are the MPI_File_write_at_all /
+// MPI_File_read_at_all analogues. With hints.parcoll_num_groups <= 1 they
+// run the plain extended two-phase protocol over the whole communicator
+// (the paper's "Cray implementation" baseline). With N > 1 they run the
+// ParColl protocol: the process group and the file are consistently divided
+// into subgroups and File Areas, aggregators are re-distributed (Fig. 5),
+// an intermediate file view is switched in when the pattern requires it
+// (Fig. 4c), and each subgroup then runs ext2ph privately — replacing one
+// global synchronization domain by N small ones.
+//
+// ParColl instruments the internals only; it does not alter MPI-IO
+// semantics. The bytes that land in the file are identical either way
+// (asserted by the test suite).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.hpp"
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+
+namespace parcoll::core {
+
+struct CollectiveOutcome {
+  std::uint64_t bytes = 0;  // this rank's contribution
+  PartitionMode mode = PartitionMode::SingleGroup;
+  int num_groups = 1;
+  std::uint64_t cycles = 0;     // exchange/I-O cycles this rank executed
+  std::uint64_t rmw_reads = 0;  // aggregator RMW fills on this rank
+};
+
+/// Collective write through the file's view. All members of the file's
+/// communicator must call, with matching (offset, count, memtype).
+CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
+                               const void* buffer, std::uint64_t count,
+                               const dtype::Datatype& memtype);
+
+/// Collective read through the file's view.
+CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
+                              void* buffer, std::uint64_t count,
+                              const dtype::Datatype& memtype);
+
+/// MPI_File_write_all / read_all: collective I/O at the handle's individual
+/// file pointer, advancing it by the transfer.
+CollectiveOutcome write_all(mpiio::FileHandle& file, const void* buffer,
+                            std::uint64_t count, const dtype::Datatype& memtype);
+CollectiveOutcome read_all(mpiio::FileHandle& file, void* buffer,
+                           std::uint64_t count, const dtype::Datatype& memtype);
+
+/// The collective engine entry used by write_at_all/read_at_all and by the
+/// split-collective helper fibers: plan (or reuse via `cache_slot`) the
+/// partition and run the protocol. Collective over `comm`.
+CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
+                                        const mpiio::Hints& hints, int fs_id,
+                                        mpiio::PreparedRequest& prep,
+                                        bool is_write,
+                                        std::shared_ptr<void>* cache_slot);
+
+/// The partitioning decision the hints + this request would produce, from
+/// the calling rank's perspective — runs the same collective planning
+/// steps, so it must be called by every member. For introspection.
+ParcollDecision plan_decision(mpiio::FileHandle& file, std::uint64_t offset,
+                              std::uint64_t count,
+                              const dtype::Datatype& memtype);
+
+}  // namespace parcoll::core

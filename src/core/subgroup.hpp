@@ -1,0 +1,34 @@
+// Subgroup formation: FA partition + sub-communicator + aggregator
+// distribution, bundled for one collective call.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/file_area.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+#include "mpiio/hints.hpp"
+
+namespace parcoll::core {
+
+struct SubgroupPlan {
+  FileAreaPlan fa;
+  /// This rank's subgroup communicator (== the parent comm when the plan
+  /// degenerates to a single group).
+  mpi::Comm subcomm;
+  int my_group = 0;
+  /// Aggregators of my subgroup, as subcomm-local ranks (sorted).
+  std::vector<int> sub_aggregators;
+  /// Aggregators of every group, as parent-comm-local ranks.
+  std::vector<std::vector<int>> aggs_per_group;
+};
+
+/// Form subgroups for a collective call. Collective over `comm`: every
+/// member must call with the same `accesses` (the allgathered per-rank
+/// access summaries) and hints, and all of them compute identical plans.
+SubgroupPlan form_subgroups(mpi::Rank& self, const mpi::Comm& comm,
+                            const std::vector<RankAccess>& accesses,
+                            const mpiio::Hints& hints);
+
+}  // namespace parcoll::core

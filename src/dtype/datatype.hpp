@@ -1,0 +1,137 @@
+// MPI-style derived datatypes.
+//
+// A Datatype is an immutable value (shared state) describing a byte layout:
+// its flattened segment list (type-map order), data size, and extent
+// [lb, ub). Constructors mirror the MPI type constructors the paper's
+// workloads need: contiguous, vector/hvector, indexed/hindexed, struct,
+// subarray (MPI_Type_create_subarray, the workhorse of MPI-Tile-IO and
+// BT-IO), and resized.
+//
+// Flattening is eager: every constructor materializes the segments, since
+// the I/O layers need them anyway. Adjacent segments are coalesced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <span>
+#include <vector>
+
+#include "dtype/segments.hpp"
+
+namespace parcoll::dtype {
+
+struct IndexedBlock {
+  std::int64_t disp = 0;     // element (indexed) or byte (hindexed) displacement
+  std::uint64_t count = 0;   // number of base elements in the block
+};
+
+class Datatype;
+
+struct StructField {
+  std::int64_t disp = 0;  // byte displacement
+  std::uint64_t count = 0;
+  const Datatype* type = nullptr;
+};
+
+class Datatype {
+ public:
+  /// Default: an empty (size-0, extent-0) type.
+  Datatype();
+
+  /// `n` contiguous bytes (the elementary building block; an MPI_DOUBLE is
+  /// bytes(8) for layout purposes).
+  static Datatype bytes(std::uint64_t n);
+
+  static Datatype contiguous(std::uint64_t count, const Datatype& base);
+
+  /// `count` blocks of `blocklen` base elements, block starts separated by
+  /// `stride` base *elements* (may be negative).
+  static Datatype vec(std::uint64_t count, std::uint64_t blocklen,
+                      std::int64_t stride, const Datatype& base);
+
+  /// Like vec but the stride is in bytes.
+  static Datatype hvector(std::uint64_t count, std::uint64_t blocklen,
+                          std::int64_t stride_bytes, const Datatype& base);
+
+  /// Blocks of base elements at element displacements.
+  static Datatype indexed(std::span<const IndexedBlock> blocks,
+                          const Datatype& base);
+
+  /// Blocks of base elements at byte displacements.
+  static Datatype hindexed(std::span<const IndexedBlock> blocks,
+                           const Datatype& base);
+
+  static Datatype structured(std::span<const StructField> fields);
+
+  enum class Order { C, Fortran };
+
+  /// An ndims-dimensional subarray of `subsizes` starting at `starts`
+  /// within a global array of `sizes`, of `element` items. The extent is
+  /// the full global array, so tiling the type as a file view walks the
+  /// global array — exactly MPI_Type_create_subarray semantics.
+  static Datatype subarray(std::span<const std::int64_t> sizes,
+                           std::span<const std::int64_t> subsizes,
+                           std::span<const std::int64_t> starts,
+                           const Datatype& element, Order order = Order::C);
+
+  /// Same layout, new lower bound and extent (MPI_Type_create_resized).
+  static Datatype resized(const Datatype& base, std::int64_t lb,
+                          std::uint64_t extent);
+
+  /// Build directly from byte segments in type-map order with an explicit
+  /// [lb, ub). The efficient path for workloads that compute their layout
+  /// themselves (e.g. BT-IO's diagonal multi-partitioning).
+  static Datatype from_segments(std::vector<Segment> segments, std::int64_t lb,
+                                std::int64_t ub);
+
+  enum class Distribution { Block, Cyclic, None };
+
+  /// MPI_Type_create_darray: this process's piece of an ndims-dimensional
+  /// global array distributed over a process grid (HPF-style). `dargs[d]`
+  /// is the blocking factor per dimension (0 = default: ceil(size/psize)
+  /// for Block, 1 for Cyclic). C order. The extent is the full array.
+  static Datatype darray(int rank, std::span<const std::int64_t> sizes,
+                         std::span<const Distribution> dists,
+                         std::span<const std::int64_t> dargs,
+                         std::span<const std::int64_t> psizes,
+                         const Datatype& element);
+
+  /// Bytes of actual data.
+  [[nodiscard]] std::uint64_t size() const { return state_->size; }
+  /// ub - lb: the stride when the type is repeated.
+  [[nodiscard]] std::int64_t extent() const { return state_->ub - state_->lb; }
+  [[nodiscard]] std::int64_t lb() const { return state_->lb; }
+  [[nodiscard]] std::int64_t ub() const { return state_->ub; }
+
+  /// Flattened segments in type-map order, displacements relative to origin.
+  [[nodiscard]] const std::vector<Segment>& segments() const {
+    return state_->segments;
+  }
+
+  /// Segments of `count` repetitions (each shifted by k * extent), coalesced.
+  [[nodiscard]] std::vector<Segment> tiled_segments(std::uint64_t count) const;
+
+  /// True if this type can serve as a file view filetype (monotone map).
+  [[nodiscard]] bool monotone() const;
+
+  /// Human-readable one-line summary: size, extent, segment count, and the
+  /// first few segments. For debugging and error messages.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  struct State {
+    std::vector<Segment> segments;
+    std::uint64_t size = 0;
+    std::int64_t lb = 0;
+    std::int64_t ub = 0;
+  };
+  explicit Datatype(std::shared_ptr<const State> state)
+      : state_(std::move(state)) {}
+  static Datatype make(std::vector<Segment> segments, std::int64_t lb,
+                       std::int64_t ub);
+
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace parcoll::dtype

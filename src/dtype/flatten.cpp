@@ -1,0 +1,49 @@
+#include "dtype/flatten.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parcoll::dtype {
+
+FlatType FlatType::from(const Datatype& type) {
+  FlatType flat;
+  flat.segs = type.segments();
+  flat.prefix.reserve(flat.segs.size());
+  std::uint64_t pos = 0;
+  for (const Segment& seg : flat.segs) {
+    flat.prefix.push_back(pos);
+    pos += seg.length;
+  }
+  flat.size = pos;
+  flat.extent = type.extent();
+  return flat;
+}
+
+std::size_t FlatType::segment_at(std::uint64_t pos) const {
+  if (pos >= size) {
+    throw std::out_of_range("FlatType::segment_at: position beyond type size");
+  }
+  // First segment whose stream start is > pos, minus one.
+  auto it = std::upper_bound(prefix.begin(), prefix.end(), pos);
+  return static_cast<std::size_t>(it - prefix.begin()) - 1;
+}
+
+std::vector<Segment> FlatType::stream_range(std::uint64_t begin,
+                                            std::uint64_t end) const {
+  std::vector<Segment> result;
+  if (begin >= end) return result;
+  if (end > size) {
+    throw std::out_of_range("FlatType::stream_range: range beyond type size");
+  }
+  for (std::size_t i = segment_at(begin); i < segs.size() && prefix[i] < end;
+       ++i) {
+    const std::uint64_t seg_begin = std::max(begin, prefix[i]);
+    const std::uint64_t seg_end = std::min(end, prefix[i] + segs[i].length);
+    result.push_back(
+        Segment{segs[i].disp + static_cast<std::int64_t>(seg_begin - prefix[i]),
+                seg_end - seg_begin});
+  }
+  return result;
+}
+
+}  // namespace parcoll::dtype

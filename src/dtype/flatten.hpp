@@ -1,0 +1,33 @@
+// FlatType: a datatype's segments with stream-offset prefix sums.
+//
+// The k-th byte of a packed stream of a datatype lands at a displacement
+// found by locating the segment whose prefix covers k. This is the lookup
+// structure used by file views (tiling) and the intermediate-view mapping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtype/datatype.hpp"
+#include "dtype/segments.hpp"
+
+namespace parcoll::dtype {
+
+struct FlatType {
+  std::vector<Segment> segs;          // coalesced, type-map order
+  std::vector<std::uint64_t> prefix;  // prefix[i] = stream offset of segs[i]
+  std::uint64_t size = 0;             // total data bytes
+  std::int64_t extent = 0;
+
+  static FlatType from(const Datatype& type);
+
+  /// Index of the segment containing stream offset `pos` (< size).
+  [[nodiscard]] std::size_t segment_at(std::uint64_t pos) const;
+
+  /// Map the stream range [begin, end) (within one instance of the type)
+  /// to displacement segments, in stream order.
+  [[nodiscard]] std::vector<Segment> stream_range(std::uint64_t begin,
+                                                  std::uint64_t end) const;
+};
+
+}  // namespace parcoll::dtype

@@ -1,0 +1,49 @@
+#include "dtype/segments.hpp"
+
+#include <algorithm>
+
+namespace parcoll::dtype {
+
+std::uint64_t total_length(const std::vector<Segment>& segs) {
+  std::uint64_t total = 0;
+  for (const Segment& seg : segs) total += seg.length;
+  return total;
+}
+
+void coalesce(std::vector<Segment>& segs) {
+  std::vector<Segment> merged;
+  merged.reserve(segs.size());
+  for (const Segment& seg : segs) {
+    if (seg.length == 0) continue;
+    if (!merged.empty() && merged.back().end() == seg.disp) {
+      merged.back().length += seg.length;
+    } else {
+      merged.push_back(seg);
+    }
+  }
+  segs = std::move(merged);
+}
+
+bool is_monotone(const std::vector<Segment>& segs) {
+  for (std::size_t i = 1; i < segs.size(); ++i) {
+    if (segs[i].disp < segs[i - 1].end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Segment> clip(const std::vector<Segment>& segs, std::int64_t lo,
+                          std::int64_t hi) {
+  std::vector<Segment> result;
+  for (const Segment& seg : segs) {
+    const std::int64_t start = std::max(seg.disp, lo);
+    const std::int64_t end = std::min(seg.end(), hi);
+    if (start < end) {
+      result.push_back(Segment{start, static_cast<std::uint64_t>(end - start)});
+    }
+  }
+  return result;
+}
+
+}  // namespace parcoll::dtype

@@ -1,0 +1,41 @@
+// Segment algebra for flattened datatypes.
+//
+// A flattened datatype is a list of (displacement, length) segments in
+// *type-map order* — the order in which the type's bytes appear in a packed
+// stream. For memory types the displacements may be in any order; a type
+// used as an MPI file view must have monotonically non-decreasing
+// displacements, which callers check with is_monotone().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace parcoll::dtype {
+
+struct Segment {
+  std::int64_t disp = 0;      // byte displacement from the type's origin
+  std::uint64_t length = 0;   // bytes
+
+  [[nodiscard]] std::int64_t end() const {
+    return disp + static_cast<std::int64_t>(length);
+  }
+  bool operator==(const Segment&) const = default;
+};
+
+/// Sum of segment lengths.
+[[nodiscard]] std::uint64_t total_length(const std::vector<Segment>& segs);
+
+/// Merge segments that are adjacent both in stream order and displacement
+/// (in place, preserving type-map order). Drops zero-length segments.
+void coalesce(std::vector<Segment>& segs);
+
+/// True if displacements never decrease along the list (requirement for
+/// file views).
+[[nodiscard]] bool is_monotone(const std::vector<Segment>& segs);
+
+/// Intersect `segs` (assumed monotone) with the displacement window
+/// [lo, hi); returns the clipped segments in order.
+[[nodiscard]] std::vector<Segment> clip(const std::vector<Segment>& segs,
+                                        std::int64_t lo, std::int64_t hi);
+
+}  // namespace parcoll::dtype

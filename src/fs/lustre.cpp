@@ -1,0 +1,172 @@
+#include "fs/lustre.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parcoll::fs {
+
+LustreSim::LustreSim(sim::Engine& engine,
+                     const machine::StorageParams& params, StoreMode mode)
+    : engine_(engine),
+      params_(params),
+      range_locks_(engine, params.flock_roundtrip, params.flock_server_time) {
+  if (params_.num_osts <= 0) {
+    throw std::invalid_argument("LustreSim: need at least one OST");
+  }
+  if (mode == StoreMode::Memory) {
+    store_ = std::make_unique<MemoryStore>();
+  } else {
+    store_ = std::make_unique<PhantomStore>();
+  }
+  osts_.reserve(static_cast<std::size_t>(params_.num_osts));
+  for (int i = 0; i < params_.num_osts; ++i) {
+    osts_.emplace_back(i, params_);
+  }
+}
+
+int LustreSim::open(const std::string& name, int stripe_count,
+                    std::uint64_t stripe_size, bool charge_metadata) {
+  if (charge_metadata) {
+    engine_.sleep(kMetadataLatency);
+  }
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    return it->second;
+  }
+  FileMeta meta;
+  meta.name = name;
+  meta.stripe_count =
+      stripe_count > 0 ? std::min(stripe_count, params_.num_osts)
+                       : params_.default_stripe_count;
+  meta.stripe_count = std::min(meta.stripe_count, params_.num_osts);
+  meta.stripe_size = stripe_size > 0 ? stripe_size : params_.default_stripe_size;
+  meta.ost_start = static_cast<int>(files_.size()) % params_.num_osts;
+  const int id = static_cast<int>(files_.size());
+  files_.push_back(meta);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void LustreSim::remove(const std::string& name) {
+  engine_.sleep(kMetadataLatency);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    throw std::invalid_argument("LustreSim::remove: no such file: " + name);
+  }
+  by_name_.erase(it);
+}
+
+const FileMeta& LustreSim::meta(int file_id) const {
+  return files_.at(static_cast<std::size_t>(file_id));
+}
+
+double LustreSim::submit(int client, int file_id,
+                         std::span<const Extent> extents, const std::byte* in,
+                         std::byte* out, bool is_write) {
+  const FileMeta& file = meta(file_id);
+  double last_completion = engine_.now();
+
+  // Per-OST accumulation of pieces into BRW RPCs: Lustre RPCs carry up to
+  // max_rpc_size of payload as a (possibly discontiguous) page list, so
+  // small strided pieces on the same target coalesce into one request.
+  struct PendingRpc {
+    std::uint64_t lock_lo = 0;
+    std::uint64_t lock_hi = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t fragments = 0;
+  };
+  std::vector<PendingRpc> pending(static_cast<std::size_t>(params_.num_osts));
+
+  auto flush = [&](int ost_index) {
+    PendingRpc& rpc = pending[static_cast<std::size_t>(ost_index)];
+    if (rpc.bytes == 0) return;
+    // Client CPU to build and issue the RPC.
+    engine_.sleep(params_.client_rpc_overhead);
+    const double done = osts_[static_cast<std::size_t>(ost_index)].serve(
+        engine_.now(), file_id, client, rpc.lock_lo, rpc.lock_hi, rpc.bytes,
+        is_write, rpc.fragments);
+    last_completion = std::max(last_completion, done);
+    rpc = PendingRpc{};
+  };
+
+  std::uint64_t data_pos = 0;
+  for (const Extent& extent : extents) {
+    if (extent.length == 0) continue;
+    for_each_stripe_chunk(
+        extent, file.stripe_size, file.stripe_count,
+        [&](const StripeChunk& chunk) {
+          std::uint64_t pos = chunk.file_offset;
+          const std::uint64_t end = chunk.file_offset + chunk.length;
+          const int ost_index =
+              (file.ost_start + chunk.stripe_index) % params_.num_osts;
+          while (pos < end) {
+            PendingRpc& rpc = pending[static_cast<std::size_t>(ost_index)];
+            const std::uint64_t room = params_.max_rpc_size - rpc.bytes;
+            const std::uint64_t piece_len =
+                std::min<std::uint64_t>(end - pos, room);
+            if (piece_len == 0) {
+              flush(ost_index);
+              continue;
+            }
+            if (rpc.bytes == 0) {
+              rpc.lock_lo = pos;
+              rpc.lock_hi = pos + piece_len;
+              rpc.fragments = 1;
+            } else {
+              // A piece extending the previous one is not a new fragment.
+              if (pos != rpc.lock_hi) {
+                ++rpc.fragments;
+              }
+              rpc.lock_lo = std::min(rpc.lock_lo, pos);
+              rpc.lock_hi = std::max(rpc.lock_hi, pos + piece_len);
+            }
+            rpc.bytes += piece_len;
+            // Data moves through the store piece by piece, in stream order.
+            if (is_write) {
+              store_->write(file_id, pos,
+                            in == nullptr ? nullptr : in + data_pos,
+                            piece_len);
+            } else {
+              store_->read(file_id, pos,
+                           out == nullptr ? nullptr : out + data_pos,
+                           piece_len);
+            }
+            data_pos += piece_len;
+            pos += piece_len;
+            if (rpc.bytes == params_.max_rpc_size) {
+              flush(ost_index);
+            }
+          }
+        });
+  }
+  for (int ost = 0; ost < params_.num_osts; ++ost) {
+    flush(ost);
+  }
+  return last_completion;
+}
+
+void LustreSim::write(int client, int file_id, std::span<const Extent> extents,
+                      const std::byte* data) {
+  const double done = submit(client, file_id, extents, data, nullptr, true);
+  engine_.sleep_until(done);
+}
+
+void LustreSim::read(int client, int file_id, std::span<const Extent> extents,
+                     std::byte* out) {
+  const double done = submit(client, file_id, extents, nullptr, out, false);
+  engine_.sleep_until(done);
+}
+
+std::uint64_t LustreSim::total_rpcs() const {
+  std::uint64_t total = 0;
+  for (const OstModel& ost : osts_) total += ost.rpcs_served();
+  return total;
+}
+
+std::uint64_t LustreSim::total_lock_switches() const {
+  std::uint64_t total = 0;
+  for (const OstModel& ost : osts_) total += ost.lock_switches();
+  return total;
+}
+
+}  // namespace parcoll::fs

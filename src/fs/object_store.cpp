@@ -1,0 +1,76 @@
+#include "fs/object_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace parcoll::fs {
+
+void MemoryStore::write(int file_id, std::uint64_t offset,
+                        const std::byte* data, std::uint64_t length) {
+  auto& file = files_[file_id];
+  const std::uint64_t end = offset + length;
+  if (file.size() < end) {
+    file.resize(end, std::byte{0});
+  }
+  if (data != nullptr && length > 0) {
+    std::memcpy(file.data() + offset, data, length);
+  }
+}
+
+void MemoryStore::read(int file_id, std::uint64_t offset, std::byte* out,
+                       std::uint64_t length) {
+  if (out == nullptr || length == 0) {
+    return;
+  }
+  auto it = files_.find(file_id);
+  const std::vector<std::byte>* file = it == files_.end() ? nullptr : &it->second;
+  // Bytes beyond the written size read as zeros (sparse-file semantics).
+  std::uint64_t have = 0;
+  if (file != nullptr && offset < file->size()) {
+    have = std::min<std::uint64_t>(length, file->size() - offset);
+    std::memcpy(out, file->data() + offset, have);
+  }
+  if (have < length) {
+    std::memset(out + have, 0, length - have);
+  }
+}
+
+std::uint64_t MemoryStore::size(int file_id) const {
+  auto it = files_.find(file_id);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+const std::vector<std::byte>& MemoryStore::contents(int file_id) const {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) {
+    throw std::out_of_range("MemoryStore::contents: unknown file");
+  }
+  return it->second;
+}
+
+void PhantomStore::write(int file_id, std::uint64_t offset,
+                         const std::byte* /*data*/, std::uint64_t length) {
+  auto& high = high_water_[file_id];
+  high = std::max(high, offset + length);
+  bytes_written_ += length;
+  ++write_ops_;
+}
+
+void PhantomStore::read(int file_id, std::uint64_t offset, std::byte* out,
+                        std::uint64_t length) {
+  (void)file_id;
+  (void)offset;
+  if (out != nullptr && length > 0) {
+    std::memset(out, 0, length);
+  }
+  bytes_read_ += length;
+  ++read_ops_;
+}
+
+std::uint64_t PhantomStore::size(int file_id) const {
+  auto it = high_water_.find(file_id);
+  return it == high_water_.end() ? 0 : it->second;
+}
+
+}  // namespace parcoll::fs

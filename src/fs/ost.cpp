@@ -1,0 +1,138 @@
+#include "fs/ost.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/random.hpp"
+
+namespace parcoll::fs {
+
+namespace {
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
+}
+
+double OstModel::slowdown(double at) const {
+  if (params_.slow_epoch_seconds <= 0) return 1.0;
+  const auto epoch = static_cast<std::uint64_t>(at / params_.slow_epoch_seconds);
+  const std::uint64_t h = sim::hash_combine(
+      sim::hash_combine(sim::mix64(params_.seed ^ 0x5105105105105105ull),
+                        static_cast<std::uint64_t>(id_)),
+      epoch);
+  const double u = sim::uniform01(h);
+  if (u < 1.0 - params_.slow_prob - params_.very_slow_prob) {
+    return 1.0;
+  }
+  // Reuse more bits of the hash for the factor within the band.
+  const double v = sim::uniform01(sim::mix64(h));
+  if (u < 1.0 - params_.very_slow_prob) {
+    return 1.0 + v * (params_.slow_factor - 1.0);
+  }
+  return params_.slow_factor +
+         v * (params_.very_slow_factor - params_.slow_factor);
+}
+
+double OstModel::acquire_write_lock(GrantMap& grants, int client,
+                                    std::uint64_t offset, std::uint64_t end,
+                                    std::uint64_t bytes) {
+  double cost = 0.0;
+  // Find every grant overlapping [offset, end); trim or remove the foreign
+  // ones (each trim/removal is one revocation: the holder flushes and
+  // drops the conflicting part of its lock).
+  auto it = grants.upper_bound(offset);
+  if (it != grants.begin()) {
+    --it;  // may still overlap if its end > offset
+  }
+  bool already_covered_by_self = false;
+  while (it != grants.end() && it->first < end) {
+    const std::uint64_t g_start = it->first;
+    const std::uint64_t g_end = it->second.end;
+    if (g_end <= offset) {
+      ++it;
+      continue;
+    }
+    if (it->second.client == client) {
+      if (g_start <= offset && g_end >= end) {
+        already_covered_by_self = true;
+        it->second.dirty =
+            std::min<std::uint64_t>(it->second.dirty + bytes,
+                                    params_.lock_dirty_cap);
+      }
+      ++it;
+      continue;
+    }
+    // Foreign overlapping grant: revoke it. The holder flushes its dirty
+    // bytes and keeps only the part below the new writer (its actively
+    // written range); the speculative forward extension is cancelled
+    // outright — retaining it would make every subsequent streaming RPC of
+    // the new writer conflict again.
+    ++lock_switches_;
+    cost += params_.lock_revoke_overhead +
+            static_cast<double>(it->second.dirty) / params_.ost_bandwidth;
+    const int other = it->second.client;
+    const std::uint64_t left_end = std::min(g_end, offset);
+    it = grants.erase(it);
+    if (g_start < left_end) {
+      grants.emplace(g_start, Grant{left_end, other, 0});
+    }
+  }
+  if (already_covered_by_self) {
+    return cost;  // nothing to install
+  }
+  // Install the new grant, extended into the free gap around the request
+  // (Lustre hands out as much as it can so streaming writers stop asking).
+  std::uint64_t new_start = 0;
+  std::uint64_t new_end = kInfinity;
+  std::uint64_t dirty = std::min<std::uint64_t>(bytes, params_.lock_dirty_cap);
+  auto next = grants.lower_bound(offset);
+  if (next != grants.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.client == client && prev->second.end >= offset) {
+      // Merge with our own adjacent grant.
+      new_start = prev->first;
+      dirty = std::min<std::uint64_t>(dirty + prev->second.dirty,
+                                      params_.lock_dirty_cap);
+      grants.erase(prev);
+      next = grants.lower_bound(offset);
+    } else {
+      new_start = prev->second.end;
+    }
+  }
+  if (next != grants.end()) {
+    if (next->second.client == client && next->first <= end) {
+      new_end = next->second.end;
+      dirty = std::min<std::uint64_t>(dirty + next->second.dirty,
+                                      params_.lock_dirty_cap);
+      grants.erase(next);
+    } else {
+      new_end = next->first;
+    }
+  }
+  grants.emplace(new_start, Grant{new_end, client, dirty});
+  return cost;
+}
+
+double OstModel::serve(double ready, int file_id, int client,
+                       std::uint64_t lock_lo, std::uint64_t lock_hi,
+                       std::uint64_t bytes, bool is_write,
+                       std::uint64_t fragments) {
+  const double start = std::max(ready, busy_until_);
+  double service = params_.request_overhead +
+                   static_cast<double>(bytes) / params_.ost_bandwidth;
+  if (fragments > 1) {
+    service += static_cast<double>(fragments - 1) * params_.fragment_overhead;
+  }
+  const double jitter = sim::jitter01(params_.seed,
+                                      static_cast<std::uint64_t>(id_),
+                                      request_seq_);
+  service *= 1.0 + params_.jitter_frac * jitter;
+  service *= slowdown(start);
+  if (is_write) {
+    service += acquire_write_lock(grants_by_file_[file_id], client, lock_lo,
+                                  lock_hi, bytes);
+  }
+  ++request_seq_;
+  busy_until_ = start + service;
+  return busy_until_;
+}
+
+}  // namespace parcoll::fs

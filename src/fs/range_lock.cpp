@@ -1,0 +1,61 @@
+#include "fs/range_lock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parcoll::fs {
+
+bool RangeLockManager::conflicts(int file_id, int owner,
+                                 const Extent& range) const {
+  auto it = held_.find(file_id);
+  if (it == held_.end()) return false;
+  for (const Held& held : it->second) {
+    if (held.owner == owner) continue;
+    if (held.range.offset < range.end() && range.offset < held.range.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RangeLockManager::server_transaction() {
+  // The lock service is a single server: operations queue serially.
+  const double start = std::max(engine_.now(), server_busy_until_);
+  server_busy_until_ = start + server_op_;
+  engine_.sleep_until(server_busy_until_ + roundtrip_);
+}
+
+void RangeLockManager::lock(int owner, int file_id, const Extent& range) {
+  server_transaction();
+  while (conflicts(file_id, owner, range)) {
+    waiters_.wait(engine_, "file range lock");
+  }
+  held_[file_id].push_back(Held{range, owner});
+}
+
+void RangeLockManager::unlock(int owner, int file_id, const Extent& range) {
+  server_transaction();
+  auto it = held_.find(file_id);
+  if (it == held_.end()) {
+    throw std::logic_error("RangeLockManager::unlock: nothing held");
+  }
+  auto& locks = it->second;
+  const auto match = std::find_if(locks.begin(), locks.end(),
+                                  [&](const Held& held) {
+                                    return held.owner == owner &&
+                                           held.range == range;
+                                  });
+  if (match == locks.end()) {
+    throw std::logic_error("RangeLockManager::unlock: lock not held");
+  }
+  locks.erase(match);
+  // Wake everyone; non-eligible waiters re-check and re-sleep.
+  waiters_.notify_all(engine_);
+}
+
+std::size_t RangeLockManager::held_count(int file_id) const {
+  auto it = held_.find(file_id);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace parcoll::fs

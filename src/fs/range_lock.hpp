@@ -1,0 +1,58 @@
+// Whole-file byte-range locks (fcntl analogue).
+//
+// ROMIO's data-sieving writes bracket their read-modify-write windows with
+// advisory file locks to stay atomic against other writers. The lock
+// service serializes overlapping windows — which, for interleaved
+// shared-file access, is precisely what collapses un-aggregated
+// independent I/O on a parallel file system.
+//
+// Calls block the calling fiber; each acquire/release costs a lock-server
+// round trip of virtual time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "fs/stripe.hpp"
+#include "sim/engine.hpp"
+
+namespace parcoll::fs {
+
+class RangeLockManager {
+ public:
+  RangeLockManager(sim::Engine& engine, double roundtrip_seconds,
+                   double server_op_seconds)
+      : engine_(engine),
+        roundtrip_(roundtrip_seconds),
+        server_op_(server_op_seconds) {}
+
+  /// Acquire an exclusive lock on `range` of `file_id` for `owner`.
+  /// Blocks until no conflicting lock is held.
+  void lock(int owner, int file_id, const Extent& range);
+
+  /// Release a previously acquired lock (must match exactly).
+  void unlock(int owner, int file_id, const Extent& range);
+
+  [[nodiscard]] std::size_t held_count(int file_id) const;
+
+ private:
+  struct Held {
+    Extent range;
+    int owner;
+  };
+  bool conflicts(int file_id, int owner, const Extent& range) const;
+
+  /// One lock-server transaction: client round trip plus a slot in the
+  /// server's serial queue.
+  void server_transaction();
+
+  sim::Engine& engine_;
+  double roundtrip_;
+  double server_op_;
+  double server_busy_until_ = 0.0;
+  std::map<int, std::vector<Held>> held_;
+  sim::WaitQueue waiters_;
+};
+
+}  // namespace parcoll::fs

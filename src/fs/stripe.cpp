@@ -1,0 +1,47 @@
+#include "fs/stripe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parcoll::fs {
+
+void for_each_stripe_chunk(const Extent& extent, std::uint64_t stripe_size,
+                           int stripe_count,
+                           const std::function<void(const StripeChunk&)>& fn) {
+  if (stripe_size == 0 || stripe_count <= 0) {
+    throw std::invalid_argument("for_each_stripe_chunk: bad striping");
+  }
+  std::uint64_t pos = extent.offset;
+  const std::uint64_t end = extent.end();
+  while (pos < end) {
+    const std::uint64_t stripe_number = pos / stripe_size;
+    const std::uint64_t stripe_end = (stripe_number + 1) * stripe_size;
+    StripeChunk chunk;
+    chunk.stripe_index =
+        static_cast<int>(stripe_number % static_cast<std::uint64_t>(stripe_count));
+    chunk.file_offset = pos;
+    chunk.length = std::min(end, stripe_end) - pos;
+    fn(chunk);
+    pos += chunk.length;
+  }
+}
+
+std::vector<StripeChunk> stripe_chunks(const Extent& extent,
+                                       std::uint64_t stripe_size,
+                                       int stripe_count) {
+  std::vector<StripeChunk> chunks;
+  for_each_stripe_chunk(extent, stripe_size, stripe_count,
+                        [&](const StripeChunk& chunk) { chunks.push_back(chunk); });
+  return chunks;
+}
+
+std::uint64_t stripe_floor(std::uint64_t offset, std::uint64_t stripe_size) {
+  return offset - offset % stripe_size;
+}
+
+std::uint64_t stripe_ceil(std::uint64_t offset, std::uint64_t stripe_size) {
+  const std::uint64_t rem = offset % stripe_size;
+  return rem == 0 ? offset : offset + (stripe_size - rem);
+}
+
+}  // namespace parcoll::fs

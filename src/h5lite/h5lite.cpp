@@ -1,0 +1,302 @@
+#include "h5lite/h5lite.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/collectives.hpp"
+#include "mpiio/ext2ph.hpp"
+
+namespace parcoll::h5 {
+
+namespace {
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(value));
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t value) {
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  out.insert(out.end(), p, p + sizeof(value));
+}
+
+void put_string(std::vector<std::byte>& out, const std::string& value) {
+  put_u32(out, static_cast<std::uint32_t>(value.size()));
+  const auto* p = reinterpret_cast<const std::byte*>(value.data());
+  out.insert(out.end(), p, p + value.size());
+}
+
+struct Reader {
+  const std::vector<std::byte>& bytes;
+  std::size_t pos = 0;
+
+  void need(std::size_t n) const {
+    if (pos + n > bytes.size()) {
+      throw std::runtime_error("h5lite: truncated metadata");
+    }
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t value;
+    std::memcpy(&value, bytes.data() + pos, 8);
+    pos += 8;
+    return value;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t value;
+    std::memcpy(&value, bytes.data() + pos, 4);
+    pos += 4;
+    return value;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string value(reinterpret_cast<const char*>(bytes.data() + pos), n);
+    pos += n;
+    return value;
+  }
+  std::vector<std::byte> blob() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::vector<std::byte> value(bytes.begin() + static_cast<long>(pos),
+                                 bytes.begin() + static_cast<long>(pos + n));
+    pos += n;
+    return value;
+  }
+};
+
+}  // namespace
+
+std::vector<std::byte> H5File::encode(const Meta& meta) {
+  std::vector<std::byte> out;
+  put_u64(out, kMagic);
+  put_u64(out, meta.datasets.size());
+  for (const auto& [name, info] : meta.datasets) {
+    put_string(out, name);
+    put_u32(out, static_cast<std::uint32_t>(info.dims.size()));
+    for (std::uint64_t d : info.dims) put_u64(out, d);
+    put_u64(out, info.elem_size);
+    put_u64(out, info.data_offset);
+  }
+  put_u64(out, meta.attributes.size());
+  for (const auto& [key, value] : meta.attributes) {
+    put_string(out, key);
+    put_u32(out, static_cast<std::uint32_t>(value.size()));
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  put_u64(out, meta.next_data_offset);
+  return out;
+}
+
+H5File::Meta H5File::decode(const std::vector<std::byte>& bytes) {
+  Reader reader{bytes};
+  if (reader.u64() != kMagic) {
+    throw std::runtime_error("h5lite: bad magic (not an h5lite file)");
+  }
+  Meta meta;
+  const std::uint64_t ndatasets = reader.u64();
+  for (std::uint64_t i = 0; i < ndatasets; ++i) {
+    DatasetInfo info;
+    info.name = reader.str();
+    const std::uint32_t ndims = reader.u32();
+    for (std::uint32_t d = 0; d < ndims; ++d) {
+      info.dims.push_back(reader.u64());
+    }
+    info.elem_size = reader.u64();
+    info.data_offset = reader.u64();
+    meta.datasets.emplace(info.name, std::move(info));
+  }
+  const std::uint64_t nattrs = reader.u64();
+  for (std::uint64_t i = 0; i < nattrs; ++i) {
+    const std::string key = reader.str();
+    meta.attributes.emplace(key, reader.blob());
+  }
+  meta.next_data_offset = reader.u64();
+  return meta;
+}
+
+H5File::H5File(mpi::Rank& self, const mpi::Comm& comm,
+               const std::string& name, const mpiio::Hints& hints,
+               bool create_new)
+    : self_(&self) {
+  file_ = std::make_unique<mpiio::FileHandle>(self, comm, name, hints);
+  const std::string key = "h5lite:" + std::to_string(file_->fs_id());
+  meta_ = self.world().shared_object<Meta>(
+      key, [] { return std::make_shared<Meta>(); });
+  open_ = true;
+  if (create_new) {
+    *meta_ = Meta{};
+    flush_metadata();
+  } else {
+    load_metadata();
+  }
+}
+
+H5File H5File::create(mpi::Rank& self, const mpi::Comm& comm,
+                      const std::string& name, const mpiio::Hints& hints) {
+  return H5File(self, comm, name, hints, true);
+}
+
+H5File H5File::open(mpi::Rank& self, const mpi::Comm& comm,
+                    const std::string& name, const mpiio::Hints& hints) {
+  return H5File(self, comm, name, hints, false);
+}
+
+void H5File::flush_metadata() {
+  // HDF5 metadata writes serialize at one process.
+  if (file_->comm().local_rank(self_->rank()) == 0) {
+    const std::vector<std::byte> encoded = encode(*meta_);
+    if (encoded.size() > kMetadataBytes) {
+      throw std::runtime_error("h5lite: metadata region overflow");
+    }
+    const fs::Extent extent{0, encoded.size()};
+    mpiio::DirectTarget target(self_->world().fs(), file_->fs_id());
+    target.write(*self_, std::span(&extent, 1),
+                 self_->world().byte_true() ? encoded.data() : nullptr);
+    mpiio::FileStats delta;
+    delta.bytes_written = encoded.size();
+    delta.independent_writes = 1;
+    file_->add_stats(delta);
+  }
+  mpi::barrier(*self_, file_->comm());
+}
+
+void H5File::load_metadata() {
+  if (self_->world().byte_true()) {
+    if (file_->comm().local_rank(self_->rank()) == 0) {
+      std::vector<std::byte> region(kMetadataBytes);
+      const fs::Extent extent{0, kMetadataBytes};
+      mpiio::DirectTarget target(self_->world().fs(), file_->fs_id());
+      target.read(*self_, std::span(&extent, 1), region.data());
+      *meta_ = decode(region);
+    }
+    mpi::barrier(*self_, file_->comm());
+  } else if (meta_->datasets.empty() && meta_->next_data_offset == kMetadataBytes) {
+    // Phantom mode keeps the metadata in the shared object only; opening a
+    // file never created in this world has nothing to parse.
+    mpi::barrier(*self_, file_->comm());
+  } else {
+    mpi::barrier(*self_, file_->comm());
+  }
+}
+
+const DatasetInfo& H5File::create_dataset(const std::string& name,
+                                          std::vector<std::uint64_t> dims,
+                                          std::uint64_t elem_size) {
+  if (!open_) throw std::logic_error("h5lite: file is closed");
+  if (dims.empty() || elem_size == 0) {
+    throw std::invalid_argument("h5lite: dataset needs dims and an element size");
+  }
+  auto it = meta_->datasets.find(name);
+  if (it == meta_->datasets.end()) {
+    // First arriver allocates; everyone else validates below.
+    DatasetInfo info;
+    info.name = name;
+    info.dims = std::move(dims);
+    info.elem_size = elem_size;
+    info.data_offset = meta_->next_data_offset;
+    meta_->next_data_offset += info.bytes();
+    it = meta_->datasets.emplace(name, std::move(info)).first;
+  } else {
+    if (it->second.dims != dims || it->second.elem_size != elem_size) {
+      throw std::invalid_argument(
+          "h5lite: create_dataset called with mismatched shapes");
+    }
+  }
+  flush_metadata();
+  return it->second;
+}
+
+bool H5File::has_dataset(const std::string& name) const {
+  return meta_->datasets.count(name) > 0;
+}
+
+const DatasetInfo& H5File::dataset(const std::string& name) const {
+  auto it = meta_->datasets.find(name);
+  if (it == meta_->datasets.end()) {
+    throw std::invalid_argument("h5lite: no such dataset: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> H5File::dataset_names() const {
+  std::vector<std::string> names;
+  names.reserve(meta_->datasets.size());
+  for (const auto& [name, info] : meta_->datasets) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void H5File::apply_selection(const DatasetInfo& info,
+                             const dtype::Datatype& selection) {
+  if (!selection.segments().empty() &&
+      selection.segments().back().end() >
+          static_cast<std::int64_t>(info.bytes())) {
+    throw std::invalid_argument("h5lite: selection escapes dataset " +
+                                info.name + " (" + selection.describe() +
+                                ")");
+  }
+  if (selection.size() == 0) {
+    // An empty selection: the rank still participates in the collective,
+    // contributing nothing. Use a trivial view.
+    file_->set_view(info.data_offset, info.elem_size,
+                    dtype::Datatype::bytes(info.elem_size));
+  } else {
+    file_->set_view(info.data_offset, info.elem_size, selection);
+  }
+}
+
+void H5File::write_dataset(const std::string& name,
+                           const dtype::Datatype& selection,
+                           const void* buffer, std::uint64_t count,
+                           const dtype::Datatype& memtype) {
+  const DatasetInfo& info = dataset(name);
+  apply_selection(info, selection);
+  if (selection.size() == 0) {
+    core::write_at_all(*file_, 0, nullptr, 0, dtype::Datatype::bytes(1));
+  } else {
+    core::write_at_all(*file_, 0, buffer, count, memtype);
+  }
+}
+
+void H5File::read_dataset(const std::string& name,
+                          const dtype::Datatype& selection, void* buffer,
+                          std::uint64_t count, const dtype::Datatype& memtype) {
+  const DatasetInfo& info = dataset(name);
+  apply_selection(info, selection);
+  if (selection.size() == 0) {
+    core::read_at_all(*file_, 0, nullptr, 0, dtype::Datatype::bytes(1));
+  } else {
+    core::read_at_all(*file_, 0, buffer, count, memtype);
+  }
+}
+
+void H5File::write_attribute(const std::string& key,
+                             const std::vector<std::byte>& value) {
+  if (!open_) throw std::logic_error("h5lite: file is closed");
+  meta_->attributes[key] = value;
+  flush_metadata();
+}
+
+std::vector<std::byte> H5File::attribute(const std::string& key) const {
+  auto it = meta_->attributes.find(key);
+  if (it == meta_->attributes.end()) {
+    throw std::invalid_argument("h5lite: no such attribute: " + key);
+  }
+  return it->second;
+}
+
+bool H5File::has_attribute(const std::string& key) const {
+  return meta_->attributes.count(key) > 0;
+}
+
+void H5File::close() {
+  if (!open_) throw std::logic_error("h5lite: already closed");
+  flush_metadata();
+  open_ = false;
+  file_->close();
+}
+
+}  // namespace parcoll::h5

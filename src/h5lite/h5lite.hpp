@@ -1,0 +1,128 @@
+// h5lite — a minimal parallel HDF5-like container on top of the MPI-IO
+// layer.
+//
+// The paper's Flash I/O benchmark "is written through in the HDF5 data
+// format. MPI-IO is used internally in the HDF5 library." This layer
+// reproduces the parts of that stack that shape I/O behaviour:
+//
+//  * a self-describing file: superblock + a metadata region holding the
+//    dataset table (names, shapes, element sizes, data offsets) and
+//    attributes,
+//  * contiguous dataset allocation in the data region,
+//  * collective dataset writes/reads: each rank supplies a selection
+//    (a datatype over the dataset's element space) and the transfer goes
+//    through the collective engine — plain ext2ph or ParColl, per hints,
+//  * serialized metadata updates: dataset creation and attribute writes
+//    are performed by rank 0 as small independent writes plus a barrier,
+//    the HDF5-metadata overhead that real Flash I/O pays on top of its
+//    bulk data.
+//
+// The on-disk metadata encoding is a simple deterministic byte format
+// (h5lite is self-contained; no external HDF5 needed), re-parsed on open.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/parcoll.hpp"
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+
+namespace parcoll::h5 {
+
+struct DatasetInfo {
+  std::string name;
+  std::vector<std::uint64_t> dims;
+  std::uint64_t elem_size = 0;
+  std::uint64_t data_offset = 0;  // absolute file offset
+
+  [[nodiscard]] std::uint64_t elements() const {
+    std::uint64_t n = 1;
+    for (std::uint64_t d : dims) n *= d;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t bytes() const { return elements() * elem_size; }
+};
+
+/// One rank's handle to a collectively opened h5lite file.
+class H5File {
+ public:
+  /// Collective create (truncates any previous content's metadata).
+  static H5File create(mpi::Rank& self, const mpi::Comm& comm,
+                       const std::string& name,
+                       const mpiio::Hints& hints = {});
+
+  /// Collective open of an existing h5lite file (reads the metadata).
+  static H5File open(mpi::Rank& self, const mpi::Comm& comm,
+                     const std::string& name,
+                     const mpiio::Hints& hints = {});
+
+  /// Collective: allocate a dataset of `dims` elements of `elem_size`
+  /// bytes. Rank 0 persists the updated metadata. Returns its info.
+  const DatasetInfo& create_dataset(const std::string& name,
+                                    std::vector<std::uint64_t> dims,
+                                    std::uint64_t elem_size);
+
+  [[nodiscard]] bool has_dataset(const std::string& name) const;
+  [[nodiscard]] const DatasetInfo& dataset(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> dataset_names() const;
+
+  /// Collective write: each rank contributes the elements selected by
+  /// `selection` (a datatype over the dataset's element space, e.g. a
+  /// subarray or darray with element size elem_size). `memtype` describes
+  /// the rank's memory layout of those elements.
+  void write_dataset(const std::string& name, const dtype::Datatype& selection,
+                     const void* buffer, std::uint64_t count,
+                     const dtype::Datatype& memtype);
+
+  /// Collective read counterpart.
+  void read_dataset(const std::string& name, const dtype::Datatype& selection,
+                    void* buffer, std::uint64_t count,
+                    const dtype::Datatype& memtype);
+
+  /// Collective: attach a small binary attribute to the file (rank 0
+  /// persists it; values are limited by the metadata region).
+  void write_attribute(const std::string& key,
+                       const std::vector<std::byte>& value);
+  [[nodiscard]] std::vector<std::byte> attribute(const std::string& key) const;
+  [[nodiscard]] bool has_attribute(const std::string& key) const;
+
+  /// Collective close: final metadata flush + barrier. The underlying
+  /// file statistics (the paper's close summary) are available before.
+  void close();
+
+  [[nodiscard]] mpiio::FileHandle& raw() { return *file_; }
+
+  static constexpr std::uint64_t kMetadataBytes = 1 << 20;  // 1 MiB region
+  static constexpr std::uint64_t kMagic = 0x48354C4954452131ull;  // "H5LITE!1"
+
+ private:
+  struct Meta {
+    std::map<std::string, DatasetInfo> datasets;
+    std::map<std::string, std::vector<std::byte>> attributes;
+    std::uint64_t next_data_offset = kMetadataBytes;
+  };
+
+  H5File(mpi::Rank& self, const mpi::Comm& comm, const std::string& name,
+         const mpiio::Hints& hints, bool create_new);
+
+  /// Validate and install a dataset selection as the file view.
+  void apply_selection(const DatasetInfo& info,
+                       const dtype::Datatype& selection);
+
+  /// Rank 0 serializes and writes the metadata region; everyone barriers.
+  void flush_metadata();
+  void load_metadata();
+  static std::vector<std::byte> encode(const Meta& meta);
+  static Meta decode(const std::vector<std::byte>& bytes);
+
+  mpi::Rank* self_ = nullptr;
+  std::unique_ptr<mpiio::FileHandle> file_;
+  std::shared_ptr<Meta> meta_;  // comm-wide shared
+  bool open_ = false;
+};
+
+}  // namespace parcoll::h5

@@ -1,0 +1,39 @@
+#include "machine/machine_model.hpp"
+
+namespace parcoll::machine {
+
+MachineModel MachineModel::jaguar(int nranks, Mapping mapping) {
+  MachineModel model;
+  model.topology = Topology(nranks, /*cores_per_node=*/2, mapping);
+  return model;
+}
+
+MachineModel MachineModel::gpfs_like(int nranks, Mapping mapping) {
+  MachineModel model = jaguar(nranks, mapping);
+  auto& storage = model.storage;
+  storage.num_osts = 32;                    // fewer, fatter NSD servers
+  storage.default_stripe_count = 32;
+  storage.default_stripe_size = 1ull << 20; // GPFS-ish block size
+  storage.ost_bandwidth = 800e6;
+  storage.request_overhead = 0.5e-3;
+  storage.lock_revoke_overhead = 0.3e-3;    // token passing, no data flush
+  storage.lock_dirty_cap = 0;
+  storage.fragment_overhead = 40e-6;        // block-granular back end
+  return model;
+}
+
+MachineModel MachineModel::pvfs_like(int nranks, Mapping mapping) {
+  MachineModel model = jaguar(nranks, mapping);
+  auto& storage = model.storage;
+  storage.num_osts = 64;
+  storage.default_stripe_count = 64;
+  storage.default_stripe_size = 64ull << 10;  // PVFS default strip size
+  storage.ost_bandwidth = 300e6;
+  storage.request_overhead = 0.9e-3;
+  storage.lock_revoke_overhead = 0.0;  // no client locking at all
+  storage.lock_dirty_cap = 0;
+  storage.flock_server_time = 0.0;
+  return model;
+}
+
+}  // namespace parcoll::machine

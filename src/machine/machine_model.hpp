@@ -1,0 +1,126 @@
+// Machine model: every calibration parameter of the simulated platform.
+//
+// Defaults approximate the paper's testbed — Jaguar, a Cray XT3/XT4 at ORNL:
+// dual-core compute PEs running Catamount, a SeaStar 3-D torus, and a Lustre
+// file system with 72 OSTs of which the paper's experiments stripe files
+// over 64 with a 4 MB stripe size. Absolute figures need not match Jaguar;
+// see DESIGN.md §6 for the shape targets the defaults are calibrated to.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/topology.hpp"
+
+namespace parcoll::machine {
+
+/// Point-to-point and collective communication parameters (SeaStar-like).
+struct NetworkParams {
+  /// One-way small-message latency between two nodes, seconds.
+  double p2p_latency = 6e-6;
+  /// Per-NIC injection/extraction bandwidth, bytes/second.
+  double p2p_bandwidth = 1.6e9;
+  /// CPU time charged to a process for posting one send or receive.
+  double cpu_msg_overhead = 1.0e-6;
+  /// Sends of at most this many bytes complete locally once buffered
+  /// (eager protocol); larger sends complete at delivery (rendezvous).
+  std::uint64_t eager_threshold = 64 * 1024;
+  /// Per-hop latency inside collective algorithm trees (log2 P hops).
+  double coll_latency = 5e-6;
+  /// Bandwidth term for data-bearing collectives, bytes/second.
+  double coll_bandwidth = 1.2e9;
+  /// Per-peer cost of alltoall-style personalized exchanges.
+  double alltoall_per_peer = 60e-6;
+  /// Quadratic congestion term of the personalized exchange: dense P-way
+  /// traffic congests the torus superlinearly, so the per-cycle alltoall is
+  /// what turns into the collective wall as P grows (paper Figs. 1-2).
+  double alltoall_congestion = 0.5e-6;
+};
+
+/// Lustre-like storage parameters.
+struct StorageParams {
+  /// Number of object storage targets available (paper: 72 on the tested FS).
+  int num_osts = 72;
+  /// Default stripe count for new files (paper: 64).
+  int default_stripe_count = 64;
+  /// Default stripe size (paper: 4 MB).
+  std::uint64_t default_stripe_size = 4ull << 20;
+  /// Sustained per-OST bandwidth, bytes/second (streaming, per target).
+  double ost_bandwidth = 450e6;
+  /// Fixed service overhead per RPC at the OST (seek + RPC handling).
+  double request_overhead = 0.4e-3;
+  /// CPU time charged to the client for issuing one RPC.
+  double client_rpc_overhead = 12e-6;
+  /// Lustre splits bulk I/O into RPCs of at most this size.
+  std::uint64_t max_rpc_size = 1ull << 20;
+  /// Extra service time per discontiguous fragment beyond the first in one
+  /// RPC (back-end fragmentation: the target turns a scattered page list
+  /// into multiple disk operations).
+  double fragment_overhead = 5e-6;
+  /// Fixed cost of revoking one conflicting DLM extent grant (lock server
+  /// round trips). Paid by writes that overlap another client's — possibly
+  /// extended — grant.
+  double lock_revoke_overhead = 1.0e-3;
+  /// Revocation additionally flushes the holder's dirty bytes under the
+  /// grant (written since acquisition, capped by the client cache) at
+  /// ost_bandwidth. Streaming writers with fat grants pay real flush time;
+  /// fine-grained interleaved grants revoke cheaply.
+  std::uint64_t lock_dirty_cap = 4ull << 20;
+  /// Per-RPC service-time jitter: multiplied by U[1, 1 + jitter_frac].
+  double jitter_frac = 0.3;
+  /// Heavy-tailed, time-correlated slowdowns: in each epoch of
+  /// slow_epoch_seconds an OST independently runs degraded with probability
+  /// slow_prob (factor up to slow_factor) or badly degraded with
+  /// probability very_slow_prob (factor up to very_slow_factor). The
+  /// slowest OST of the moment is what a globally synchronized two-phase
+  /// cycle waits for.
+  double slow_epoch_seconds = 0.25;
+  double slow_prob = 0.05;
+  double slow_factor = 2.5;
+  double very_slow_prob = 0.005;
+  double very_slow_factor = 8.0;
+  /// Round-trip time of the advisory file-lock server (fcntl analogue)
+  /// used by data-sieving writes.
+  double flock_roundtrip = 0.5e-3;
+  /// Server-side processing time per lock/unlock operation. The lock
+  /// service is a single serialization point, so thousands of clients
+  /// sieving concurrently queue up here — the documented reason
+  /// un-aggregated strided writes collapse on shared files.
+  double flock_server_time = 400e-6;
+  /// Seed for all deterministic jitter streams.
+  std::uint64_t seed = 42;
+};
+
+/// Node-local memory parameters.
+struct MemoryParams {
+  /// memcpy/pack bandwidth, bytes/second (DDR2-era Opteron).
+  double memcpy_bandwidth = 2.5e9;
+};
+
+struct MachineModel {
+  Topology topology;
+  NetworkParams net;
+  StorageParams storage;
+  MemoryParams mem;
+
+  /// Jaguar-like model: `nranks` processes, two cores per node, block
+  /// mapping (the Cray XT default placement), Lustre-like storage.
+  static MachineModel jaguar(int nranks, Mapping mapping = Mapping::Block);
+
+  /// The paper's future work asks how the collective wall behaves "over
+  /// other massively parallel platforms with different underlying file
+  /// systems, such as GPFS and PVFS". These presets re-skin the storage
+  /// personality while keeping the compute side fixed:
+  ///
+  /// GPFS-like: shared-disk with distributed token (byte-range) locking —
+  /// fewer, larger servers (NSD-style), bigger blocks, cheaper lock
+  /// revocation (token passing, no client cache flush), stronger
+  /// fragmentation penalty (block-granular back end).
+  static MachineModel gpfs_like(int nranks, Mapping mapping = Mapping::Block);
+
+  /// PVFS-like: no client locking at all (PVFS serializes at the servers
+  /// and offers no overlapping-write guarantees), modest per-server
+  /// bandwidth, higher request overhead.
+  static MachineModel pvfs_like(int nranks, Mapping mapping = Mapping::Block);
+};
+
+}  // namespace parcoll::machine

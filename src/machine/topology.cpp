@@ -1,0 +1,41 @@
+#include "machine/topology.hpp"
+
+namespace parcoll::machine {
+
+Topology::Topology(int nranks, int cores_per_node, Mapping mapping)
+    : nranks_(nranks), cores_per_node_(cores_per_node), mapping_(mapping) {
+  if (nranks <= 0 || cores_per_node <= 0) {
+    throw std::invalid_argument("Topology: nranks and cores_per_node must be positive");
+  }
+  num_nodes_ = (nranks + cores_per_node - 1) / cores_per_node;
+}
+
+int Topology::node_of(int rank) const {
+  if (rank < 0 || rank >= nranks_) {
+    throw std::out_of_range("Topology::node_of: bad rank");
+  }
+  if (mapping_ == Mapping::Block) {
+    return rank / cores_per_node_;
+  }
+  return rank % num_nodes_;
+}
+
+std::vector<int> Topology::ranks_on_node(int node) const {
+  if (node < 0 || node >= num_nodes_) {
+    throw std::out_of_range("Topology::ranks_on_node: bad node");
+  }
+  std::vector<int> ranks;
+  if (mapping_ == Mapping::Block) {
+    for (int r = node * cores_per_node_;
+         r < (node + 1) * cores_per_node_ && r < nranks_; ++r) {
+      ranks.push_back(r);
+    }
+  } else {
+    for (int r = node; r < nranks_; r += num_nodes_) {
+      ranks.push_back(r);
+    }
+  }
+  return ranks;
+}
+
+}  // namespace parcoll::machine

@@ -1,0 +1,41 @@
+// Rank-to-node topology.
+//
+// The Cray XT places multiple MPI processes on each physical node (dual-core
+// compute PEs in the paper). ParColl's aggregator-distribution rules are
+// expressed in terms of physical nodes (paper Fig. 5), so the simulator
+// needs an explicit rank->node mapping supporting the two common schemes:
+//   block : N0(P0,P1) N1(P2,P3) ...
+//   cyclic: N0(P0,P4) N1(P1,P5) ...
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+namespace parcoll::machine {
+
+enum class Mapping { Block, Cyclic };
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(int nranks, int cores_per_node, Mapping mapping = Mapping::Block);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+  [[nodiscard]] int cores_per_node() const { return cores_per_node_; }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] Mapping mapping() const { return mapping_; }
+
+  /// Physical node hosting `rank`.
+  [[nodiscard]] int node_of(int rank) const;
+
+  /// Ranks hosted on `node`, in increasing rank order.
+  [[nodiscard]] std::vector<int> ranks_on_node(int node) const;
+
+ private:
+  int nranks_ = 0;
+  int cores_per_node_ = 1;
+  int num_nodes_ = 0;
+  Mapping mapping_ = Mapping::Block;
+};
+
+}  // namespace parcoll::machine

@@ -1,0 +1,204 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <tuple>
+
+#include "mpi/p2p.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/random.hpp"
+
+namespace parcoll::mpi {
+
+namespace {
+int ceil_log2(int n) {
+  if (n <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(n - 1));
+}
+}  // namespace
+
+const char* to_string(CollKind kind) {
+  switch (kind) {
+    case CollKind::Barrier:   return "barrier";
+    case CollKind::Bcast:     return "bcast";
+    case CollKind::Gather:    return "gather";
+    case CollKind::Allgather: return "allgather";
+    case CollKind::Alltoall:  return "alltoall";
+    case CollKind::Allreduce: return "allreduce";
+    case CollKind::Scan:      return "scan";
+  }
+  return "?";
+}
+
+double coll_cost(const machine::NetworkParams& net, CollKind kind, int nranks,
+                 std::uint64_t max_contrib, std::uint64_t total) {
+  if (nranks <= 1) return 0.0;
+  const double hops = static_cast<double>(ceil_log2(nranks));
+  const double lat = net.coll_latency;
+  const double bw = net.coll_bandwidth;
+  switch (kind) {
+    case CollKind::Barrier:
+      return 2.0 * hops * lat;
+    case CollKind::Bcast:
+      return hops * lat + static_cast<double>(total) / bw;
+    case CollKind::Gather:
+      return hops * lat + static_cast<double>(total) / bw;
+    case CollKind::Allgather:
+      return hops * lat +
+             static_cast<double>(total) * (nranks - 1) / nranks / bw;
+    case CollKind::Alltoall:
+      // The linear-in-P personalized exchange: each rank handles a message
+      // (or its overhead) for every peer, plus moving its contribution.
+      return static_cast<double>(nranks) * net.alltoall_per_peer +
+             static_cast<double>(nranks) * nranks * net.alltoall_congestion +
+             static_cast<double>(max_contrib) * (nranks - 1) / nranks / bw;
+    case CollKind::Allreduce:
+      return 2.0 * hops * lat +
+             2.0 * static_cast<double>(max_contrib) / bw;
+    case CollKind::Scan:
+      return hops * lat + static_cast<double>(max_contrib) / bw;
+  }
+  return 0.0;
+}
+
+CollEngine::CollEngine(sim::Engine& engine, const machine::NetworkParams& net)
+    : engine_(engine), net_(net) {}
+
+std::uint64_t CollEngine::derive_context(std::uint64_t parent_ctx,
+                                         std::uint64_t seq, int color) const {
+  return sim::hash_combine(sim::hash_combine(parent_ctx, seq),
+                           static_cast<std::uint64_t>(color) + 0x1234567ull);
+}
+
+std::shared_ptr<const CollContribs> CollEngine::exchange(
+    Rank& self, const Comm& comm, CollKind kind,
+    std::vector<std::byte> contribution) {
+  const int me = comm.local_rank(self.rank());
+  if (me < 0) {
+    throw std::logic_error("collective: caller is not in the communicator");
+  }
+  const std::uint64_t seq = self.next_coll_seq(comm.context_id());
+  const OpKey key{comm.context_id(), seq};
+
+  auto it = ops_.find(key);
+  if (it == ops_.end()) {
+    Op op;
+    op.kind = kind;
+    op.expected = comm.size();
+    op.contribs.resize(static_cast<std::size_t>(comm.size()));
+    it = ops_.emplace(key, std::move(op)).first;
+  }
+  Op& op = it->second;
+  if (op.kind != kind) {
+    throw std::logic_error("collective: mismatched collective kinds at the "
+                           "same sequence point (program error)");
+  }
+  const double arrival = engine_.now();
+  op.contribs[static_cast<std::size_t>(me)] = std::move(contribution);
+  op.max_arrival = std::max(op.max_arrival, arrival);
+  ++op.arrived;
+
+  if (op.arrived < op.expected) {
+    // Not everyone is here: block until the last arriver releases us.
+    op.waiter_pids.push_back(self.pid());
+    engine_.suspend("collective");
+    // Woken at the completion time.
+  } else {
+    // Last arriver: compute cost, publish the result, release everyone.
+    std::uint64_t max_contrib = 0;
+    std::uint64_t total = 0;
+    for (const auto& c : op.contribs) {
+      max_contrib = std::max<std::uint64_t>(max_contrib, c.size());
+      total += c.size();
+    }
+    const double completion =
+        op.max_arrival + coll_cost(net_, kind, op.expected, max_contrib, total);
+    op.result = std::make_shared<const CollContribs>(std::move(op.contribs));
+    for (sim::ProcId pid : op.waiter_pids) {
+      engine_.wake_at(completion, pid);
+    }
+    op.waiter_pids.clear();
+    engine_.sleep_until(completion);
+  }
+
+  // Running again at the completion time: charge the synchronization wait.
+  self.times().add(TimeCat::Sync, engine_.now() - arrival);
+
+  auto result = ops_.at(key).result;
+  Op& done = ops_.at(key);
+  if (++done.fetched == done.expected) {
+    ops_.erase(key);
+  }
+  return result;
+}
+
+void barrier(Rank& self, const Comm& comm) {
+  coll_run(self, comm, CollKind::Barrier, {});
+}
+
+std::shared_ptr<const CollContribs> coll_run(Rank& self, const Comm& comm,
+                                             CollKind kind,
+                                             std::vector<std::byte> contribution) {
+  return self.world().colls().exchange(self, comm, kind, std::move(contribution));
+}
+
+int coll_local_rank(Rank& self, const Comm& comm) {
+  const int local = comm.local_rank(self.rank());
+  if (local < 0) {
+    throw std::logic_error("collective: caller is not in the communicator");
+  }
+  return local;
+}
+
+std::uint64_t sendrecv(Rank& self, const Comm& comm, int dst, int send_tag,
+                       const void* send_data, std::uint64_t send_bytes,
+                       int src, int recv_tag, void* recv_buffer,
+                       std::uint64_t recv_capacity) {
+  auto& p2p = self.world().p2p();
+  Request requests[2] = {
+      p2p.irecv(self, comm, src, recv_tag, recv_buffer, recv_capacity),
+      p2p.isend(self, comm, dst, send_tag, send_data, send_bytes),
+  };
+  p2p.waitall(self, requests);
+  return requests[0].transferred();
+}
+
+Comm comm_split(Rank& self, const Comm& comm, int color, int key) {
+  // Gather (color, key, world rank) from everyone; build my color's comm.
+  struct Entry {
+    int color;
+    int key;
+    int world;
+  };
+  const std::uint64_t seq = self.next_coll_seq(comm.context_id());
+  // Reuse the allgather machinery for the split's metadata exchange. Note:
+  // the sequence number above is reserved for context derivation; the
+  // allgather below consumes the next one, which is fine because all ranks
+  // do both in the same order.
+  auto entries = allgather(self, comm, Entry{color, key, self.rank()});
+
+  std::vector<Entry> mine;
+  for (const Entry& entry : entries) {
+    if (entry.color == color) {
+      mine.push_back(entry);
+    }
+  }
+  std::sort(mine.begin(), mine.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.world) < std::tie(b.key, b.world);
+  });
+  std::vector<int> members;
+  members.reserve(mine.size());
+  for (const Entry& entry : mine) {
+    members.push_back(entry.world);
+  }
+  const std::uint64_t ctx =
+      self.world().colls().derive_context(comm.context_id(), seq, color);
+  return Comm(ctx, std::move(members));
+}
+
+Comm comm_dup(Rank& self, const Comm& comm) {
+  return comm_split(self, comm, /*color=*/0, comm.local_rank(self.rank()));
+}
+
+}  // namespace parcoll::mpi

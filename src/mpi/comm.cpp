@@ -1,0 +1,30 @@
+#include "mpi/comm.hpp"
+
+#include <stdexcept>
+
+namespace parcoll::mpi {
+
+Comm::Comm(std::uint64_t context_id, std::vector<int> members) {
+  auto state = std::make_shared<State>();
+  state->context_id = context_id;
+  state->members = std::move(members);
+  for (std::size_t local = 0; local < state->members.size(); ++local) {
+    auto [it, inserted] = state->local_of_world.emplace(
+        state->members[local], static_cast<int>(local));
+    if (!inserted) {
+      throw std::invalid_argument("Comm: duplicate member rank");
+    }
+  }
+  state_ = std::move(state);
+}
+
+int Comm::world_rank(int local) const {
+  return state_->members.at(static_cast<std::size_t>(local));
+}
+
+int Comm::local_rank(int world) const {
+  auto it = state_->local_of_world.find(world);
+  return it == state_->local_of_world.end() ? -1 : it->second;
+}
+
+}  // namespace parcoll::mpi

@@ -1,0 +1,173 @@
+#include "mpi/p2p.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "mpi/runtime.hpp"
+
+namespace parcoll::mpi {
+
+namespace {
+bool tag_matches(int posted_tag, int msg_tag) {
+  return posted_tag == kAnyTag || posted_tag == msg_tag;
+}
+bool src_matches(int posted_src, int msg_src) {
+  return posted_src == kAnySource || posted_src == msg_src;
+}
+}  // namespace
+
+P2PEngine::P2PEngine(sim::Engine& engine, net::Network& network,
+                     const machine::Topology& topology)
+    : engine_(engine), network_(network), topology_(topology) {}
+
+void P2PEngine::finish(sim::Engine& engine,
+                       const std::shared_ptr<detail::ReqState>& state) {
+  if (state->complete) {
+    return;  // eager sends are already locally complete
+  }
+  state->complete = true;
+  state->complete_time = engine.now();
+  for (sim::ProcId pid : state->waiters) {
+    engine.wake(pid);
+  }
+  state->waiters.clear();
+}
+
+void P2PEngine::complete_pair(const PendingSend& send,
+                              const PendingRecv& recv) {
+  const double delivered = network_.transfer(engine_.now(), send.src_node,
+                                             recv.dst_node, send.bytes);
+  if (send.bytes > recv.capacity) {
+    throw std::runtime_error("P2P: message truncation (recv buffer too small)");
+  }
+  recv.state->transferred = send.bytes;
+  recv.state->matched_source = send.src_local;
+  recv.state->matched_tag = send.tag;
+  auto send_state = send.state;
+  auto recv_state = recv.state;
+  auto data = send.data;
+  void* buffer = recv.buffer;
+  const std::uint64_t bytes = send.bytes;
+  engine_.post(delivered, [this, send_state, recv_state, data, buffer, bytes] {
+    if (data != nullptr && buffer != nullptr && bytes > 0) {
+      std::memcpy(buffer, data->data(), bytes);
+    }
+    finish(engine_, send_state);
+    finish(engine_, recv_state);
+  });
+}
+
+Request P2PEngine::isend(Rank& self, const Comm& comm, int dst, int tag,
+                         const void* data, std::uint64_t bytes) {
+  if (dst < 0 || dst >= comm.size()) {
+    throw std::out_of_range("isend: bad destination rank");
+  }
+  self.busy(TimeCat::P2P, network_.params().cpu_msg_overhead);
+
+  auto state = std::make_shared<detail::ReqState>();
+  PendingSend send;
+  send.src_local = comm.local_rank(self.rank());
+  send.tag = tag;
+  send.bytes = bytes;
+  if (data != nullptr && bytes > 0) {
+    const auto* begin = static_cast<const std::byte*>(data);
+    send.data = std::make_shared<std::vector<std::byte>>(begin, begin + bytes);
+  }
+  send.src_node = self.node();
+  send.state = state;
+  if (send.src_local < 0) {
+    throw std::logic_error("isend: sender is not a member of the communicator");
+  }
+  if (bytes <= network_.params().eager_threshold) {
+    // Eager protocol: the payload is buffered (copied above), so the send
+    // is locally complete; the wire transfer still happens at match time.
+    state->complete = true;
+    state->complete_time = engine_.now();
+  }
+
+  const Key key{comm.context_id(), comm.world_rank(dst)};
+  auto posted_it = posted_.find(key);
+  if (posted_it != posted_.end()) {
+    auto& queue = posted_it->second;
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (src_matches(it->src_local, send.src_local) &&
+          tag_matches(it->tag, send.tag)) {
+        PendingRecv recv = std::move(*it);
+        queue.erase(it);
+        complete_pair(send, recv);
+        return Request(state);
+      }
+    }
+  }
+  unexpected_[key].push_back(std::move(send));
+  return Request(state);
+}
+
+Request P2PEngine::irecv(Rank& self, const Comm& comm, int src, int tag,
+                         void* buffer, std::uint64_t capacity) {
+  if (src != kAnySource && (src < 0 || src >= comm.size())) {
+    throw std::out_of_range("irecv: bad source rank");
+  }
+  self.busy(TimeCat::P2P, network_.params().cpu_msg_overhead);
+
+  auto state = std::make_shared<detail::ReqState>();
+  PendingRecv recv;
+  recv.src_local = src;
+  recv.tag = tag;
+  recv.buffer = buffer;
+  recv.capacity = capacity;
+  recv.dst_node = self.node();
+  recv.state = state;
+
+  const Key key{comm.context_id(), self.rank()};
+  auto unexpected_it = unexpected_.find(key);
+  if (unexpected_it != unexpected_.end()) {
+    auto& queue = unexpected_it->second;
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (src_matches(recv.src_local, it->src_local) &&
+          tag_matches(recv.tag, it->tag)) {
+        PendingSend send = std::move(*it);
+        queue.erase(it);
+        complete_pair(send, recv);
+        return Request(state);
+      }
+    }
+  }
+  posted_[key].push_back(std::move(recv));
+  return Request(state);
+}
+
+void P2PEngine::wait(Rank& self, Request& request) {
+  if (!request.valid()) {
+    throw std::logic_error("wait: invalid request");
+  }
+  if (request.state_->complete) {
+    return;
+  }
+  const double blocked_at = engine_.now();
+  request.state_->waiters.push_back(self.pid());
+  engine_.suspend("p2p wait");
+  self.times().add(TimeCat::P2P, engine_.now() - blocked_at);
+}
+
+void P2PEngine::waitall(Rank& self, std::span<Request> requests) {
+  for (Request& request : requests) {
+    wait(self, request);
+  }
+}
+
+void P2PEngine::send(Rank& self, const Comm& comm, int dst, int tag,
+                     const void* data, std::uint64_t bytes) {
+  Request request = isend(self, comm, dst, tag, data, bytes);
+  wait(self, request);
+}
+
+std::uint64_t P2PEngine::recv(Rank& self, const Comm& comm, int src, int tag,
+                              void* buffer, std::uint64_t capacity) {
+  Request request = irecv(self, comm, src, tag, buffer, capacity);
+  wait(self, request);
+  return request.transferred();
+}
+
+}  // namespace parcoll::mpi

@@ -1,0 +1,131 @@
+// Point-to-point messaging: isend/irecv with tag matching, wait/waitall,
+// and blocking send/recv built on top.
+//
+// Timing model: posting a send or receive costs cpu_msg_overhead of CPU.
+// The wire transfer is reserved on the network when the send meets a
+// matching receive; both requests complete at the delivery time. Waiting on
+// an incomplete request blocks the fiber and charges the wait to TimeCat::P2P.
+//
+// Payloads: a send may carry real bytes (copied eagerly, MPI eager-protocol
+// style) or be a phantom of a given size; a receive may supply a real buffer
+// or a null one. Bytes are copied only when both sides are real.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "mpi/comm.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace parcoll::mpi {
+
+class Rank;
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+namespace detail {
+struct ReqState {
+  bool complete = false;
+  double complete_time = 0.0;
+  std::uint64_t transferred = 0;  // bytes actually moved (recv side)
+  int matched_source = -1;        // local rank in the comm (recv side)
+  int matched_tag = -1;
+  std::vector<sim::ProcId> waiters;
+};
+}  // namespace detail
+
+/// Handle to an outstanding isend/irecv. Cheap to copy.
+class Request {
+ public:
+  Request() = default;
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const { return state_ && state_->complete; }
+  /// Bytes delivered (receive side), valid once done().
+  [[nodiscard]] std::uint64_t transferred() const { return state_->transferred; }
+  /// Matched source local rank (receive side), valid once done().
+  [[nodiscard]] int source() const { return state_->matched_source; }
+
+ private:
+  friend class P2PEngine;
+  explicit Request(std::shared_ptr<detail::ReqState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::ReqState> state_;
+};
+
+class P2PEngine {
+ public:
+  P2PEngine(sim::Engine& engine, net::Network& network,
+            const machine::Topology& topology);
+
+  /// Post a send of `bytes` to `dst` (local rank in `comm`) with `tag`.
+  /// `data` may be nullptr for a phantom payload.
+  Request isend(Rank& self, const Comm& comm, int dst, int tag,
+                const void* data, std::uint64_t bytes);
+
+  /// Post a receive into `buffer` (may be nullptr) of up to `capacity`
+  /// bytes from `src` (local rank, or kAnySource) with `tag` (or kAnyTag).
+  Request irecv(Rank& self, const Comm& comm, int src, int tag, void* buffer,
+                std::uint64_t capacity);
+
+  /// Block until `request` completes; charges the wait to TimeCat::P2P.
+  void wait(Rank& self, Request& request);
+
+  void waitall(Rank& self, std::span<Request> requests);
+
+  /// Blocking convenience wrappers.
+  void send(Rank& self, const Comm& comm, int dst, int tag, const void* data,
+            std::uint64_t bytes);
+  /// Returns the number of bytes received.
+  std::uint64_t recv(Rank& self, const Comm& comm, int src, int tag,
+                     void* buffer, std::uint64_t capacity);
+
+ private:
+  struct PendingSend {
+    int src_local;
+    int tag;
+    std::uint64_t bytes;
+    std::shared_ptr<std::vector<std::byte>> data;  // null for phantom
+    int src_node;
+    std::shared_ptr<detail::ReqState> state;
+  };
+  struct PendingRecv {
+    int src_local;  // kAnySource allowed
+    int tag;        // kAnyTag allowed
+    void* buffer;
+    std::uint64_t capacity;
+    int dst_node;
+    std::shared_ptr<detail::ReqState> state;
+  };
+  // Queues keyed by (context_id, destination world rank).
+  struct Key {
+    std::uint64_t ctx;
+    int dst;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(k.ctx * 1000003u +
+                                        static_cast<std::uint64_t>(k.dst));
+    }
+  };
+
+  void complete_pair(const PendingSend& send, const PendingRecv& recv);
+  static void finish(sim::Engine& engine,
+                     const std::shared_ptr<detail::ReqState>& state);
+
+  sim::Engine& engine_;
+  net::Network& network_;
+  const machine::Topology& topology_;
+  std::unordered_map<Key, std::deque<PendingSend>, KeyHash> unexpected_;
+  std::unordered_map<Key, std::deque<PendingRecv>, KeyHash> posted_;
+};
+
+}  // namespace parcoll::mpi

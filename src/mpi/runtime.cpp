@@ -1,0 +1,73 @@
+#include "mpi/runtime.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "fs/lustre.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/p2p.hpp"
+#include "mpi/trace.hpp"
+
+namespace parcoll::mpi {
+
+World::World(machine::MachineModel model, bool byte_true)
+    : model_(std::move(model)),
+      network_(model_.topology, model_.net, model_.mem),
+      byte_true_(byte_true) {
+  p2p_ = std::make_unique<P2PEngine>(engine_, network_, model_.topology);
+  colls_ = std::make_unique<CollEngine>(engine_, model_.net);
+  fs_ = std::make_unique<fs::LustreSim>(
+      engine_, model_.storage,
+      byte_true ? fs::StoreMode::Memory : fs::StoreMode::Phantom);
+  std::vector<int> members(static_cast<std::size_t>(model_.topology.nranks()));
+  std::iota(members.begin(), members.end(), 0);
+  world_comm_ = Comm(/*context_id=*/1, std::move(members));
+}
+
+World::~World() = default;
+
+void World::run(std::function<void(Rank&)> program) {
+  if (ran_) {
+    throw std::logic_error("World::run: a World can only run one program");
+  }
+  ran_ = true;
+  const int nranks = model_.topology.nranks();
+  rank_times_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    engine_.spawn([this, r, program] {
+      Rank self(*this, r);
+      program(self);
+      rank_times_[static_cast<std::size_t>(r)] = self.times().breakdown();
+    });
+  }
+  engine_.run();
+  elapsed_ = engine_.now();
+}
+
+Rank::Rank(World& world, int rank)
+    : world_(world), rank_(rank), pid_(world.engine().current()) {
+  if (pid_ == sim::kNoProc) {
+    throw std::logic_error("Rank must be constructed on a process fiber");
+  }
+  if (world.tracer() != nullptr) {
+    times_.attach_tracer(world.tracer(), world.engine().now_address(), rank);
+  }
+}
+
+Tracer& World::enable_tracing() {
+  if (!tracer_) {
+    tracer_ = std::make_unique<Tracer>();
+  }
+  return *tracer_;
+}
+
+void Rank::busy(TimeCat cat, double seconds) {
+  world_.engine().sleep(seconds);
+  times_.add(cat, seconds);
+}
+
+void Rank::touch_bytes(double bytes) {
+  busy(TimeCat::Compute, bytes / world_.model().mem.memcpy_bandwidth);
+}
+
+}  // namespace parcoll::mpi

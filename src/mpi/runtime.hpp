@@ -1,0 +1,147 @@
+// SPMD runtime: World owns the simulated machine, Rank is the per-process
+// handle a simulated MPI program receives.
+//
+// Usage:
+//   World world(machine::MachineModel::jaguar(64));
+//   world.run([&](Rank& self) { ... ordinary blocking MPI-style code ... });
+//
+// Every rank runs the same function on its own fiber; the World collects
+// each rank's time breakdown when the program finishes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/timecat.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace parcoll::fs {
+class LustreSim;
+enum class StoreMode;
+}  // namespace parcoll::fs
+
+namespace parcoll::mpi {
+
+class P2PEngine;
+class CollEngine;
+class Rank;
+class Tracer;
+
+class World {
+ public:
+  /// `byte_true` selects the file-system payload mode: true stores and
+  /// verifies real bytes (tests), false tracks extents only (large benches).
+  explicit World(machine::MachineModel model, bool byte_true = true);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Run the SPMD `program` on every rank to completion. One run per World.
+  void run(std::function<void(Rank&)> program);
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Network& network() { return network_; }
+  [[nodiscard]] P2PEngine& p2p() { return *p2p_; }
+  [[nodiscard]] CollEngine& colls() { return *colls_; }
+  [[nodiscard]] fs::LustreSim& fs() { return *fs_; }
+  [[nodiscard]] const machine::MachineModel& model() const { return model_; }
+  [[nodiscard]] Comm world_comm() const { return world_comm_; }
+  [[nodiscard]] int nranks() const { return model_.topology.nranks(); }
+
+  /// Virtual time at which the last rank finished (valid after run()).
+  [[nodiscard]] double elapsed() const { return elapsed_; }
+
+  /// True when the file system stores real bytes (tests) rather than
+  /// phantom extents (benches). Protocol engines consult this to decide
+  /// whether to materialize exchange buffers.
+  [[nodiscard]] bool byte_true() const { return byte_true_; }
+
+  /// Record per-rank time intervals for this run (call before run()).
+  /// Returns the tracer to query afterwards.
+  Tracer& enable_tracing();
+  [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
+
+  /// Per-rank time breakdowns (valid after run()).
+  [[nodiscard]] const std::vector<TimeBreakdown>& rank_times() const {
+    return rank_times_;
+  }
+
+  /// Named shared objects: comm-wide state that all ranks of a collective
+  /// operation need to share (e.g. an open file's common info). The first
+  /// caller's factory creates the object; later callers get the same one.
+  template <typename T>
+  std::shared_ptr<T> shared_object(const std::string& key,
+                                   const std::function<std::shared_ptr<T>()>& make) {
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      it = objects_.emplace(key, make()).first;
+    }
+    return std::static_pointer_cast<T>(it->second);
+  }
+
+ private:
+  machine::MachineModel model_;
+  sim::Engine engine_;
+  net::Network network_;
+  std::unique_ptr<P2PEngine> p2p_;
+  std::unique_ptr<CollEngine> colls_;
+  std::unique_ptr<fs::LustreSim> fs_;
+  Comm world_comm_;
+  std::vector<TimeBreakdown> rank_times_;
+  std::unordered_map<std::string, std::shared_ptr<void>> objects_;
+  std::unique_ptr<Tracer> tracer_;
+  double elapsed_ = 0.0;
+  bool ran_ = false;
+  bool byte_true_ = true;
+};
+
+/// The per-process handle: identity, clock access, and time accounting.
+/// Constructed by World::run on each rank's fiber; never copied.
+class Rank {
+ public:
+  Rank(World& world, int rank);
+
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return world_.nranks(); }
+  [[nodiscard]] int node() const {
+    return world_.model().topology.node_of(rank_);
+  }
+  [[nodiscard]] World& world() { return world_; }
+  [[nodiscard]] sim::Engine& engine() { return world_.engine(); }
+  [[nodiscard]] TimeAccount& times() { return times_; }
+  [[nodiscard]] Comm comm_world() const { return world_.world_comm(); }
+  [[nodiscard]] sim::ProcId pid() const { return pid_; }
+  [[nodiscard]] double now() const { return world_.engine().now(); }
+
+  /// Spend `seconds` of virtual time, charged to `cat`.
+  void busy(TimeCat cat, double seconds);
+
+  /// Charge a memory-bandwidth-bound operation over `bytes` as Compute.
+  void touch_bytes(double bytes);
+
+  /// Per-communicator collective sequence number (MPI ordering guarantee:
+  /// all members call collectives on a communicator in the same order).
+  std::uint64_t next_coll_seq(std::uint64_t context_id) {
+    return coll_seq_[context_id]++;
+  }
+
+ private:
+  World& world_;
+  int rank_;
+  sim::ProcId pid_;
+  TimeAccount times_;
+  std::unordered_map<std::uint64_t, std::uint64_t> coll_seq_;
+};
+
+}  // namespace parcoll::mpi

@@ -1,0 +1,28 @@
+#include "mpi/timecat.hpp"
+
+#include "mpi/trace.hpp"
+
+namespace parcoll::mpi {
+
+void TimeAccount::add(TimeCat cat, double dt) {
+  breakdown_.seconds[static_cast<std::size_t>(cat)] += dt;
+  if (tracer_ != nullptr && now_ != nullptr) {
+    tracer_->record(rank_, cat, *now_ - dt, *now_);
+  }
+}
+
+const char* to_string(TimeCat cat) {
+  switch (cat) {
+    case TimeCat::Compute:
+      return "compute";
+    case TimeCat::P2P:
+      return "p2p";
+    case TimeCat::Sync:
+      return "sync";
+    case TimeCat::IO:
+      return "io";
+  }
+  return "?";
+}
+
+}  // namespace parcoll::mpi

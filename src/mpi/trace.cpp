@@ -1,0 +1,75 @@
+#include "mpi/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <ostream>
+#include <sstream>
+
+namespace parcoll::mpi {
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "rank,category,begin,end\n";
+  for (const TraceEvent& event : events_) {
+    os << event.rank << ',' << to_string(event.cat) << ',' << event.begin
+       << ',' << event.end << '\n';
+  }
+}
+
+std::string Tracer::gantt(int width, int max_ranks) const {
+  if (events_.empty() || width <= 0) {
+    return "(no trace events)\n";
+  }
+  double horizon = 0;
+  int nranks = 0;
+  for (const TraceEvent& event : events_) {
+    horizon = std::max(horizon, event.end);
+    nranks = std::max(nranks, event.rank + 1);
+  }
+  const int rows = std::min(nranks, max_ranks);
+  const double bin = horizon / width;
+
+  // Per (row, bin): time per category; pick the dominant one.
+  std::vector<std::array<double, kNumTimeCats>> cells(
+      static_cast<std::size_t>(rows * width));
+  for (const TraceEvent& event : events_) {
+    if (event.rank >= rows) continue;
+    const int first = std::min(width - 1, static_cast<int>(event.begin / bin));
+    const int last = std::min(width - 1, static_cast<int>(event.end / bin));
+    for (int b = first; b <= last; ++b) {
+      const double lo = std::max(event.begin, b * bin);
+      const double hi = std::min(event.end, (b + 1) * bin);
+      if (hi > lo) {
+        cells[static_cast<std::size_t>(event.rank * width + b)]
+             [static_cast<std::size_t>(event.cat)] += hi - lo;
+      }
+    }
+  }
+
+  static constexpr char kGlyph[kNumTimeCats] = {'c', 'p', 'S', 'I'};
+  std::ostringstream os;
+  os << "time 0.." << horizon << "s  (c=compute p=p2p S=sync I=io .=idle)\n";
+  for (int r = 0; r < rows; ++r) {
+    os << "r";
+    os.width(4);
+    os << std::left << r << "|";
+    for (int b = 0; b < width; ++b) {
+      const auto& cell = cells[static_cast<std::size_t>(r * width + b)];
+      double best = 0;
+      int best_cat = -1;
+      for (std::size_t c = 0; c < kNumTimeCats; ++c) {
+        if (cell[c] > best) {
+          best = cell[c];
+          best_cat = static_cast<int>(c);
+        }
+      }
+      os << (best_cat < 0 ? '.' : kGlyph[best_cat]);
+    }
+    os << "|\n";
+  }
+  if (nranks > rows) {
+    os << "(+" << nranks - rows << " more ranks)\n";
+  }
+  return os.str();
+}
+
+}  // namespace parcoll::mpi

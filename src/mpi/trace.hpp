@@ -1,0 +1,51 @@
+// Execution tracing: per-rank timelines of where virtual time goes.
+//
+// When enabled on a World, every charge to a rank's TimeAccount also
+// records an interval (rank, category, begin, end). The trace can be
+// exported as CSV for external tooling, or rendered as a text Gantt chart
+// — which makes the collective wall visible: synchronization intervals
+// piling up behind the slowest rank of each cycle.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "mpi/timecat.hpp"
+
+namespace parcoll::mpi {
+
+struct TraceEvent {
+  int rank = 0;
+  TimeCat cat = TimeCat::Compute;
+  double begin = 0;
+  double end = 0;
+};
+
+class Tracer {
+ public:
+  void record(int rank, TimeCat cat, double begin, double end) {
+    if (end > begin) {
+      events_.push_back(TraceEvent{rank, cat, begin, end});
+    }
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  /// CSV: rank,category,begin,end (header included).
+  void write_csv(std::ostream& os) const;
+
+  /// Text Gantt chart: one row per rank (up to `max_ranks`), `width` time
+  /// bins from 0 to the last event. Each cell shows the category that
+  /// dominates the bin: '.' idle, 'c' compute, 'p' p2p, 'S' sync, 'I' io.
+  [[nodiscard]] std::string gantt(int width = 72, int max_ranks = 16) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace parcoll::mpi

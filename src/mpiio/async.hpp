@@ -1,0 +1,47 @@
+// Nonblocking independent I/O (MPI_File_iwrite_at / MPI_File_iread_at).
+//
+// The operation proceeds on a helper fiber (Catamount could not do this —
+// no threads — but the simulator models the threaded machine, as for split
+// collectives). The buffer must stay valid until the matching wait.
+#pragma once
+
+#include <memory>
+
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+
+namespace parcoll::mpiio {
+
+namespace detail {
+struct AsyncIoState;
+}
+
+/// Handle to an outstanding nonblocking independent operation.
+class IoRequest {
+ public:
+  IoRequest() = default;
+  /// Internal: wraps the engine's state record (use iwrite_at/iread_at).
+  explicit IoRequest(std::shared_ptr<detail::AsyncIoState> state)
+      : state_(std::move(state)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend void io_wait(FileHandle&, IoRequest&);
+  std::shared_ptr<detail::AsyncIoState> state_;
+};
+
+/// Start an independent write at `offset` (etypes in the view).
+IoRequest iwrite_at(FileHandle& file, std::uint64_t offset, const void* buffer,
+                    std::uint64_t count, const dtype::Datatype& memtype);
+
+/// Start an independent read at `offset`.
+IoRequest iread_at(FileHandle& file, std::uint64_t offset, void* buffer,
+                   std::uint64_t count, const dtype::Datatype& memtype);
+
+/// Block until the operation completes (wait charged to IO); for reads,
+/// unpacks into the user buffer.
+void io_wait(FileHandle& file, IoRequest& request);
+
+}  // namespace parcoll::mpiio

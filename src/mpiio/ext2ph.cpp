@@ -1,0 +1,620 @@
+#include "mpiio/ext2ph.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "mpi/collectives.hpp"
+#include "mpi/p2p.hpp"
+
+namespace parcoll::mpiio {
+
+namespace {
+
+constexpr int kTagReq = 1000;   // request-dissemination offset lists
+constexpr int kTagData = 2000;  // + cycle index: exchange-phase payloads
+
+/// A sub-extent of one rank's request, remembering where its bytes sit in
+/// that rank's packed data stream.
+struct Piece {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t stream_pos = 0;
+};
+
+/// Clip monotone `extents` to [lo, hi); `prefix[i]` is the stream offset of
+/// extents[i].
+std::vector<Piece> clip_stream(const std::vector<fs::Extent>& extents,
+                               const std::vector<std::uint64_t>& prefix,
+                               std::uint64_t lo, std::uint64_t hi) {
+  std::vector<Piece> pieces;
+  // First extent whose end is beyond lo.
+  auto it = std::partition_point(
+      extents.begin(), extents.end(),
+      [lo](const fs::Extent& e) { return e.end() <= lo; });
+  for (; it != extents.end() && it->offset < hi; ++it) {
+    const std::uint64_t begin = std::max(it->offset, lo);
+    const std::uint64_t end = std::min(it->end(), hi);
+    if (begin >= end) continue;
+    const auto index = static_cast<std::size_t>(it - extents.begin());
+    pieces.push_back(Piece{begin, end - begin,
+                           prefix[index] + (begin - it->offset)});
+  }
+  return pieces;
+}
+
+/// Clip plain extents (aggregator's stored request lists) to [lo, hi).
+std::vector<fs::Extent> clip_extents(const std::vector<fs::Extent>& extents,
+                                     std::uint64_t lo, std::uint64_t hi) {
+  std::vector<fs::Extent> out;
+  auto it = std::partition_point(
+      extents.begin(), extents.end(),
+      [lo](const fs::Extent& e) { return e.end() <= lo; });
+  for (; it != extents.end() && it->offset < hi; ++it) {
+    const std::uint64_t begin = std::max(it->offset, lo);
+    const std::uint64_t end = std::min(it->end(), hi);
+    if (begin < end) out.push_back(fs::Extent{begin, end - begin});
+  }
+  return out;
+}
+
+/// Trivially copyable covered-range record for the st_loc/end_loc Allgather.
+struct CoveredLoc {
+  std::uint64_t st = 0;
+  std::uint64_t end = 0;
+};
+
+/// Everything both directions of the protocol share: the result of phases
+/// 1-3 (range gathering, file-domain partitioning, request dissemination).
+struct Plan {
+  bool active = false;
+  int nranks = 0;
+  int me = -1;
+  std::uint64_t min_st = 0;
+  std::uint64_t max_end = 0;
+  std::uint64_t fd_len = 0;
+  std::uint64_t ntimes = 0;
+  int my_agg_index = -1;  // index into options.aggregators, or -1
+  /// Covered range [st_loc, end_loc) of each aggregator's file domain —
+  /// the first/last byte actually requested there (ROMIO's st_loc/end_loc).
+  /// Windows walk this range, not the whole domain, so sparse requests do
+  /// not spin through empty cycles.
+  std::vector<CoveredLoc> loc;
+  std::vector<std::uint64_t> prefix;  // stream prefix of my extents
+  // Aggregator side: per source local rank, its extents within my domain.
+  std::vector<std::vector<fs::Extent>> others;
+
+  [[nodiscard]] std::uint64_t fd_start(int a) const {
+    return std::min(max_end, min_st + static_cast<std::uint64_t>(a) * fd_len);
+  }
+  [[nodiscard]] std::uint64_t fd_end(int a) const {
+    return std::min(max_end,
+                    min_st + static_cast<std::uint64_t>(a + 1) * fd_len);
+  }
+  /// Aggregator domain index containing `offset`.
+  [[nodiscard]] int agg_of(std::uint64_t offset, int naggs) const {
+    if (offset <= min_st) return 0;
+    const auto a = static_cast<int>((offset - min_st) / fd_len);
+    return std::min(a, naggs - 1);
+  }
+};
+
+struct RankRange {
+  std::uint64_t st;
+  std::uint64_t end;
+};
+
+
+
+Plan make_plan(mpi::Rank& self, const mpi::Comm& comm,
+               const CollRequest& request, const Ext2phOptions& options) {
+  if (options.aggregators.empty()) {
+    throw std::invalid_argument("ext2ph: aggregator list must not be empty");
+  }
+  if (!std::is_sorted(options.aggregators.begin(),
+                      options.aggregators.end())) {
+    throw std::invalid_argument("ext2ph: aggregator list must be sorted");
+  }
+  Plan plan;
+  plan.nranks = comm.size();
+  plan.me = comm.local_rank(self.rank());
+  const int naggs = static_cast<int>(options.aggregators.size());
+
+  // Phase 1: file-range gathering.
+  RankRange mine{std::numeric_limits<std::uint64_t>::max(), 0};
+  if (!request.extents.empty()) {
+    mine.st = request.extents.front().offset;
+    mine.end = request.extents.back().end();
+  }
+  const auto ranges = mpi::allgather(self, comm, mine);
+  plan.min_st = std::numeric_limits<std::uint64_t>::max();
+  plan.max_end = 0;
+  for (const RankRange& range : ranges) {
+    if (range.end > range.st) {  // rank actually has data
+      plan.min_st = std::min(plan.min_st, range.st);
+      plan.max_end = std::max(plan.max_end, range.end);
+    }
+  }
+  if (plan.max_end <= plan.min_st) {
+    return plan;  // nothing to do anywhere; every rank agrees
+  }
+  plan.active = true;
+
+  // Phase 2: file-domain partitioning (even division among aggregators,
+  // optionally rounded up to stripe boundaries for lock affinity).
+  plan.fd_len =
+      (plan.max_end - plan.min_st + static_cast<std::uint64_t>(naggs) - 1) /
+      static_cast<std::uint64_t>(naggs);
+  if (options.fd_alignment > 0) {
+    const std::uint64_t align = options.fd_alignment;
+    plan.fd_len = (plan.fd_len + align - 1) / align * align;
+  }
+  const auto agg_it = std::lower_bound(options.aggregators.begin(),
+                                       options.aggregators.end(), plan.me);
+  if (agg_it != options.aggregators.end() && *agg_it == plan.me) {
+    plan.my_agg_index = static_cast<int>(agg_it - options.aggregators.begin());
+  }
+
+  // Stream prefix of my extents.
+  plan.prefix.reserve(request.extents.size());
+  std::uint64_t pos = 0;
+  for (const fs::Extent& extent : request.extents) {
+    plan.prefix.push_back(pos);
+    pos += extent.length;
+  }
+
+  // Phase 3: request dissemination. Tell each aggregator which pieces of
+  // my request fall inside its file domain (Alltoall of counts, then
+  // point-to-point offset lists).
+  std::vector<std::uint32_t> counts(static_cast<std::size_t>(plan.nranks), 0);
+  std::vector<std::pair<int, std::vector<fs::Extent>>> outgoing;
+  if (!request.extents.empty()) {
+    const int a_lo = plan.agg_of(mine.st, naggs);
+    const int a_hi = plan.agg_of(mine.end - 1, naggs);
+    for (int a = a_lo; a <= a_hi; ++a) {
+      auto pieces = clip_extents(request.extents, plan.fd_start(a),
+                                 plan.fd_end(a));
+      if (!pieces.empty()) {
+        const int agg_rank = options.aggregators[static_cast<std::size_t>(a)];
+        counts[static_cast<std::size_t>(agg_rank)] =
+            static_cast<std::uint32_t>(pieces.size());
+        outgoing.emplace_back(agg_rank, std::move(pieces));
+      }
+    }
+  }
+  const auto incoming_counts = mpi::alltoall(self, comm, counts);
+
+  std::vector<mpi::Request> requests;
+  std::vector<std::pair<int, std::vector<fs::Extent>>> incoming;
+  auto& p2p = self.world().p2p();
+  if (plan.my_agg_index >= 0) {
+    plan.others.resize(static_cast<std::size_t>(plan.nranks));
+    for (int r = 0; r < plan.nranks; ++r) {
+      const std::uint32_t n = incoming_counts[static_cast<std::size_t>(r)];
+      if (n == 0) continue;
+      incoming.emplace_back(r, std::vector<fs::Extent>(n));
+      auto& list = incoming.back().second;
+      requests.push_back(p2p.irecv(self, comm, r, kTagReq, list.data(),
+                                   list.size() * sizeof(fs::Extent)));
+    }
+  }
+  for (const auto& [agg_rank, pieces] : outgoing) {
+    requests.push_back(p2p.isend(self, comm, agg_rank, kTagReq, pieces.data(),
+                                 pieces.size() * sizeof(fs::Extent)));
+  }
+  p2p.waitall(self, requests);
+  for (auto& [r, list] : incoming) {
+    plan.others[static_cast<std::size_t>(r)] = std::move(list);
+  }
+
+  // Covered range of my domain (st_loc/end_loc), from the received request
+  // lists; Allgather so every rank can compute every aggregator's windows,
+  // and derive the interleaving depth (max cycles over aggregators).
+  CoveredLoc my_loc{std::numeric_limits<std::uint64_t>::max(), 0};
+  if (plan.my_agg_index >= 0) {
+    for (const auto& list : plan.others) {
+      if (list.empty()) continue;
+      my_loc.st = std::min(my_loc.st, list.front().offset);
+      my_loc.end = std::max(my_loc.end, list.back().end());
+    }
+  }
+  const auto locs = mpi::allgather(self, comm, my_loc);
+  plan.loc.reserve(options.aggregators.size());
+  std::uint64_t max_ntimes = 0;
+  for (int agg_rank : options.aggregators) {
+    const CoveredLoc& loc = locs[static_cast<std::size_t>(agg_rank)];
+    plan.loc.push_back(loc);
+    if (loc.end > loc.st) {
+      max_ntimes = std::max(
+          max_ntimes,
+          (loc.end - loc.st + options.cb_buffer_size - 1) /
+              options.cb_buffer_size);
+    }
+  }
+  plan.ntimes = max_ntimes;
+  return plan;
+}
+
+/// Merge the per-source window pieces an aggregator will handle this cycle.
+struct WindowWork {
+  struct Entry {
+    std::uint64_t offset;
+    std::uint64_t length;
+    int source;               // local rank
+    std::uint64_t msg_pos;    // byte position within that source's message
+  };
+  std::vector<Entry> entries;  // sorted by offset
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t total = 0;
+
+  [[nodiscard]] bool empty() const { return entries.empty(); }
+  [[nodiscard]] bool has_holes() const { return total != hi - lo; }
+};
+
+WindowWork gather_window_work(const Plan& plan,
+                              const std::vector<std::uint32_t>& sizes,
+                              std::uint64_t win_lo, std::uint64_t win_hi) {
+  WindowWork work;
+  for (int r = 0; r < plan.nranks; ++r) {
+    if (sizes[static_cast<std::size_t>(r)] == 0) continue;
+    const auto pieces =
+        clip_extents(plan.others[static_cast<std::size_t>(r)], win_lo, win_hi);
+    std::uint64_t msg_pos = 0;
+    for (const fs::Extent& piece : pieces) {
+      work.entries.push_back(
+          WindowWork::Entry{piece.offset, piece.length, r, msg_pos});
+      msg_pos += piece.length;
+    }
+    if (msg_pos != sizes[static_cast<std::size_t>(r)]) {
+      throw std::logic_error(
+          "ext2ph: cycle size mismatch between alltoall and request lists");
+    }
+  }
+  if (work.entries.empty()) return work;
+  std::sort(work.entries.begin(), work.entries.end(),
+            [](const WindowWork::Entry& a, const WindowWork::Entry& b) {
+              return a.offset < b.offset;
+            });
+  work.lo = work.entries.front().offset;
+  work.hi = 0;
+  for (const auto& entry : work.entries) {
+    work.hi = std::max(work.hi, entry.offset + entry.length);
+    work.total += entry.length;
+  }
+  return work;
+}
+
+}  // namespace
+
+void DirectTarget::write(mpi::Rank& self, std::span<const fs::Extent> extents,
+                         const std::byte* data) {
+  const double start = self.now();
+  fs_.write(self.rank(), file_id_, extents, data);
+  self.times().add(mpi::TimeCat::IO, self.now() - start);
+}
+
+void DirectTarget::read(mpi::Rank& self, std::span<const fs::Extent> extents,
+                        std::byte* out) {
+  const double start = self.now();
+  fs_.read(self.rank(), file_id_, extents, out);
+  self.times().add(mpi::TimeCat::IO, self.now() - start);
+}
+
+std::vector<int> default_aggregators(const machine::Topology& topology,
+                                     const mpi::Comm& comm,
+                                     const Hints& hints) {
+  if (hints.cb_node_list.empty() && hints.cb_nodes == 0) {
+    // No aggregator hints: every process aggregates (the AD_sysio behaviour
+    // on Catamount — no intra-node distinction, one single-threaded process
+    // per core). Node-based selection applies once hints are given.
+    std::vector<int> all(static_cast<std::size_t>(comm.size()));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  // Node order: explicit list, or all nodes hosting comm members.
+  std::vector<int> nodes;
+  if (!hints.cb_node_list.empty()) {
+    nodes = hints.cb_node_list;
+  } else {
+    std::vector<bool> seen(static_cast<std::size_t>(topology.num_nodes()));
+    for (int local = 0; local < comm.size(); ++local) {
+      const int node = topology.node_of(comm.world_rank(local));
+      if (!seen[static_cast<std::size_t>(node)]) {
+        seen[static_cast<std::size_t>(node)] = true;
+        nodes.push_back(node);
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+  }
+  if (hints.cb_nodes > 0 &&
+      static_cast<std::size_t>(hints.cb_nodes) < nodes.size()) {
+    nodes.resize(static_cast<std::size_t>(hints.cb_nodes));
+  }
+  // One aggregator per node: the lowest comm rank hosted there.
+  std::vector<int> aggregators;
+  for (int node : nodes) {
+    int best = -1;
+    for (int world : topology.ranks_on_node(node)) {
+      const int local = comm.local_rank(world);
+      if (local >= 0 && (best < 0 || local < best)) {
+        best = local;
+      }
+    }
+    if (best >= 0) {
+      aggregators.push_back(best);
+    }
+  }
+  std::sort(aggregators.begin(), aggregators.end());
+  aggregators.erase(std::unique(aggregators.begin(), aggregators.end()),
+                    aggregators.end());
+  return aggregators;
+}
+
+Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
+                           IoTarget& target, const CollRequest& request,
+                           const Ext2phOptions& options) {
+  Ext2phOutcome outcome;
+  const Plan plan = make_plan(self, comm, request, options);
+  if (!plan.active) return outcome;
+
+  const int naggs = static_cast<int>(options.aggregators.size());
+  auto& p2p = self.world().p2p();
+  // Whether to materialize exchange/window buffers (world property) and
+  // whether this rank's outgoing payload is real.
+  const bool byte_true = self.world().byte_true();
+  const bool have_data = request.data != nullptr;
+
+  int a_lo = 0;
+  int a_hi = -1;
+  if (!request.extents.empty()) {
+    a_lo = plan.agg_of(request.extents.front().offset, naggs);
+    a_hi = plan.agg_of(request.extents.back().end() - 1, naggs);
+  }
+
+  std::vector<std::byte> window_buffer;
+  for (std::uint64_t t = 0; t < plan.ntimes; ++t) {
+    // My pieces for each aggregator's current window, and the size vector.
+    std::vector<std::uint32_t> send_sizes(static_cast<std::size_t>(plan.nranks), 0);
+    std::vector<std::pair<int, std::vector<Piece>>> cycle_sends;
+    for (int a = a_lo; a <= a_hi; ++a) {
+      const CoveredLoc loc = plan.loc[static_cast<std::size_t>(a)];
+      const std::uint64_t loc_lo = loc.st;
+      const std::uint64_t loc_hi = loc.end;
+      if (loc_lo >= loc_hi) continue;
+      const std::uint64_t win_lo = loc_lo + t * options.cb_buffer_size;
+      const std::uint64_t win_hi =
+          std::min(loc_hi, win_lo + options.cb_buffer_size);
+      if (win_lo >= win_hi) continue;
+      auto pieces = clip_stream(request.extents, plan.prefix, win_lo, win_hi);
+      if (pieces.empty()) continue;
+      std::uint64_t total = 0;
+      for (const Piece& piece : pieces) total += piece.length;
+      const int agg_rank = options.aggregators[static_cast<std::size_t>(a)];
+      send_sizes[static_cast<std::size_t>(agg_rank)] =
+          static_cast<std::uint32_t>(total);
+      cycle_sends.emplace_back(agg_rank, std::move(pieces));
+    }
+
+    // Per-cycle coordination: the Alltoall of cycle sizes. This is the
+    // synchronization the paper's collective wall is made of.
+    const auto recv_sizes = mpi::alltoall(self, comm, send_sizes);
+
+    std::vector<mpi::Request> requests;
+    std::vector<std::vector<std::byte>> recv_buffers(
+        static_cast<std::size_t>(plan.nranks));
+    if (plan.my_agg_index >= 0) {
+      for (int r = 0; r < plan.nranks; ++r) {
+        const std::uint32_t n = recv_sizes[static_cast<std::size_t>(r)];
+        if (n == 0) continue;
+        auto& buffer = recv_buffers[static_cast<std::size_t>(r)];
+        if (byte_true) buffer.resize(n);
+        requests.push_back(p2p.irecv(self, comm, r,
+                                     kTagData + static_cast<int>(t),
+                                     byte_true ? buffer.data() : nullptr, n));
+      }
+    }
+    std::vector<std::vector<std::byte>> send_buffers;
+    send_buffers.reserve(cycle_sends.size());
+    for (const auto& [agg_rank, pieces] : cycle_sends) {
+      std::uint64_t total = 0;
+      for (const Piece& piece : pieces) total += piece.length;
+      send_buffers.emplace_back();
+      auto& buffer = send_buffers.back();
+      if (have_data) {
+        buffer.resize(total);
+        std::uint64_t pos = 0;
+        for (const Piece& piece : pieces) {
+          std::memcpy(buffer.data() + pos, request.data + piece.stream_pos,
+                      piece.length);
+          pos += piece.length;
+        }
+      }
+      self.touch_bytes(static_cast<double>(total));  // gather cost
+      requests.push_back(p2p.isend(self, comm, agg_rank,
+                                   kTagData + static_cast<int>(t),
+                                   have_data ? buffer.data() : nullptr, total));
+    }
+    p2p.waitall(self, requests);
+
+    // File-I/O phase: the aggregator assembles and writes its window.
+    if (plan.my_agg_index >= 0 &&
+        plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end >
+            plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st) {
+      const std::uint64_t loc_lo =
+          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st;
+      const std::uint64_t loc_hi =
+          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end;
+      const std::uint64_t win_lo = loc_lo + t * options.cb_buffer_size;
+      const std::uint64_t win_hi =
+          std::min(loc_hi, win_lo + options.cb_buffer_size);
+      const WindowWork work =
+          gather_window_work(plan, recv_sizes, win_lo, win_hi);
+      if (!work.empty()) {
+        const fs::Extent span{work.lo, work.hi - work.lo};
+        if (byte_true) {
+          window_buffer.assign(span.length, std::byte{0});
+          if (work.has_holes()) {
+            target.read(self, std::span(&span, 1), window_buffer.data());
+            ++outcome.rmw_reads;
+          }
+          for (const auto& entry : work.entries) {
+            std::memcpy(window_buffer.data() + (entry.offset - work.lo),
+                        recv_buffers[static_cast<std::size_t>(entry.source)]
+                                .data() +
+                            entry.msg_pos,
+                        entry.length);
+          }
+          self.touch_bytes(static_cast<double>(work.total));
+          target.write(self, std::span(&span, 1), window_buffer.data());
+        } else {
+          if (work.has_holes()) {
+            target.read(self, std::span(&span, 1), nullptr);
+            ++outcome.rmw_reads;
+          }
+          self.touch_bytes(static_cast<double>(work.total));
+          target.write(self, std::span(&span, 1), nullptr);
+        }
+      }
+    }
+    ++outcome.cycles;
+  }
+
+  // Trailing status agreement (ROMIO reduces error codes).
+  mpi::allreduce_max(self, comm, 0);
+  return outcome;
+}
+
+Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
+                          IoTarget& target, const CollRequest& request,
+                          const Ext2phOptions& options) {
+  Ext2phOutcome outcome;
+  const Plan plan = make_plan(self, comm, request, options);
+  if (!plan.active) return outcome;
+
+  const int naggs = static_cast<int>(options.aggregators.size());
+  auto& p2p = self.world().p2p();
+  const bool byte_true = self.world().byte_true();
+  const bool want_data = request.data != nullptr;
+
+  int a_lo = 0;
+  int a_hi = -1;
+  if (!request.extents.empty()) {
+    a_lo = plan.agg_of(request.extents.front().offset, naggs);
+    a_hi = plan.agg_of(request.extents.back().end() - 1, naggs);
+  }
+
+  std::vector<std::byte> window_buffer;
+  for (std::uint64_t t = 0; t < plan.ntimes; ++t) {
+    // What I want from each aggregator's window this cycle.
+    std::vector<std::uint32_t> want_sizes(static_cast<std::size_t>(plan.nranks), 0);
+    std::vector<std::pair<int, std::vector<Piece>>> cycle_wants;
+    for (int a = a_lo; a <= a_hi; ++a) {
+      const CoveredLoc loc = plan.loc[static_cast<std::size_t>(a)];
+      const std::uint64_t loc_lo = loc.st;
+      const std::uint64_t loc_hi = loc.end;
+      if (loc_lo >= loc_hi) continue;
+      const std::uint64_t win_lo = loc_lo + t * options.cb_buffer_size;
+      const std::uint64_t win_hi =
+          std::min(loc_hi, win_lo + options.cb_buffer_size);
+      if (win_lo >= win_hi) continue;
+      auto pieces = clip_stream(request.extents, plan.prefix, win_lo, win_hi);
+      if (pieces.empty()) continue;
+      std::uint64_t total = 0;
+      for (const Piece& piece : pieces) total += piece.length;
+      const int agg_rank = options.aggregators[static_cast<std::size_t>(a)];
+      want_sizes[static_cast<std::size_t>(agg_rank)] =
+          static_cast<std::uint32_t>(total);
+      cycle_wants.emplace_back(agg_rank, std::move(pieces));
+    }
+
+    const auto asked_sizes = mpi::alltoall(self, comm, want_sizes);
+
+    // Post my receives for the data I asked for.
+    std::vector<mpi::Request> requests;
+    std::vector<std::vector<std::byte>> recv_buffers;
+    recv_buffers.reserve(cycle_wants.size());
+    for (const auto& [agg_rank, pieces] : cycle_wants) {
+      std::uint64_t total = 0;
+      for (const Piece& piece : pieces) total += piece.length;
+      recv_buffers.emplace_back();
+      auto& buffer = recv_buffers.back();
+      if (want_data) buffer.resize(total);
+      requests.push_back(p2p.irecv(self, comm, agg_rank,
+                                   kTagData + static_cast<int>(t),
+                                   want_data ? buffer.data() : nullptr, total));
+    }
+
+    // Aggregator: read the window's covered span, slice, and send.
+    std::vector<std::vector<std::byte>> reply_buffers;
+    if (plan.my_agg_index >= 0 &&
+        plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end >
+            plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st) {
+      const std::uint64_t loc_lo =
+          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st;
+      const std::uint64_t loc_hi =
+          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end;
+      const std::uint64_t win_lo = loc_lo + t * options.cb_buffer_size;
+      const std::uint64_t win_hi =
+          std::min(loc_hi, win_lo + options.cb_buffer_size);
+      const WindowWork work =
+          gather_window_work(plan, asked_sizes, win_lo, win_hi);
+      if (!work.empty()) {
+        const fs::Extent span{work.lo, work.hi - work.lo};
+        window_buffer.assign(byte_true ? span.length : 0, std::byte{0});
+        target.read(self, std::span(&span, 1),
+                    byte_true ? window_buffer.data() : nullptr);
+        // Build one reply per requester, pieces in offset order.
+        std::vector<std::uint64_t> reply_size(
+            static_cast<std::size_t>(plan.nranks), 0);
+        for (const auto& entry : work.entries) {
+          reply_size[static_cast<std::size_t>(entry.source)] += entry.length;
+        }
+        reply_buffers.resize(static_cast<std::size_t>(plan.nranks));
+        if (byte_true) {
+          for (const auto& entry : work.entries) {
+            auto& reply = reply_buffers[static_cast<std::size_t>(entry.source)];
+            if (reply.capacity() == 0) {
+              reply.reserve(
+                  reply_size[static_cast<std::size_t>(entry.source)]);
+            }
+            const auto* begin = window_buffer.data() + (entry.offset - work.lo);
+            reply.insert(reply.end(), begin, begin + entry.length);
+          }
+        }
+        self.touch_bytes(static_cast<double>(work.total));
+        for (int r = 0; r < plan.nranks; ++r) {
+          if (reply_size[static_cast<std::size_t>(r)] == 0) continue;
+          requests.push_back(p2p.isend(
+              self, comm, r, kTagData + static_cast<int>(t),
+              byte_true ? reply_buffers[static_cast<std::size_t>(r)].data()
+                        : nullptr,
+              reply_size[static_cast<std::size_t>(r)]));
+        }
+      }
+    }
+
+    p2p.waitall(self, requests);
+
+    // Scatter the replies into my packed stream.
+    if (want_data) {
+      for (std::size_t i = 0; i < cycle_wants.size(); ++i) {
+        const auto& pieces = cycle_wants[i].second;
+        const auto& buffer = recv_buffers[i];
+        std::uint64_t pos = 0;
+        for (const Piece& piece : pieces) {
+          std::memcpy(request.data + piece.stream_pos, buffer.data() + pos,
+                      piece.length);
+          pos += piece.length;
+        }
+        self.touch_bytes(static_cast<double>(pos));
+      }
+    }
+    ++outcome.cycles;
+  }
+  return outcome;
+}
+
+}  // namespace parcoll::mpiio

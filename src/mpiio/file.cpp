@@ -1,0 +1,257 @@
+#include "mpiio/file.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dtype/pack.hpp"
+#include "mpi/collectives.hpp"
+#include "mpiio/ext2ph.hpp"
+
+namespace parcoll::mpiio {
+
+FileHandle::FileHandle(mpi::Rank& self, const mpi::Comm& comm,
+                       const std::string& name, const Hints& hints,
+                       unsigned amode)
+    : self_(self), amode_(amode) {
+  const int rw_bits = (amode & kModeRdonly ? 1 : 0) +
+                      (amode & kModeWronly ? 1 : 0) +
+                      (amode & kModeRdwr ? 1 : 0);
+  if (rw_bits != 1) {
+    throw std::invalid_argument(
+        "FileHandle: exactly one of RDONLY/WRONLY/RDWR must be given");
+  }
+  auto& fs = self.world().fs();
+  const bool existed = fs.exists(name);
+  if ((amode & kModeCreate) && (amode & kModeExcl) && existed) {
+    throw std::invalid_argument("FileHandle: MODE_EXCL but the file exists");
+  }
+  if (!(amode & kModeCreate) && !existed) {
+    throw std::invalid_argument("FileHandle: no MODE_CREATE and no such file");
+  }
+  // Every rank contacts the metadata server; the file is created once.
+  // With romio_no_indep_rw and an explicit aggregator set, non-aggregators
+  // defer their open (ROMIO's deferred-open optimization): they skip the
+  // metadata round trip since only aggregators will touch the file.
+  bool deferred = false;
+  if (hints.no_indep_rw &&
+      (hints.cb_nodes > 0 || !hints.cb_node_list.empty())) {
+    const auto aggregators =
+        default_aggregators(self.world().model().topology, comm, hints);
+    const int local = comm.local_rank(self.rank());
+    deferred = !std::binary_search(aggregators.begin(), aggregators.end(),
+                                   local);
+  }
+  const int fs_id = fs.open(name, hints.striping_factor, hints.striping_unit,
+                            /*charge_metadata=*/!deferred);
+  // Keyed by the underlying file id (not the name): deleting and
+  // re-creating a file must not resurrect the old shared state.
+  const std::string key = "mpiio:" + std::to_string(comm.context_id()) + ":" +
+                          std::to_string(fs_id);
+  common_ = self.world().shared_object<FileCommon>(
+      key, [&]() {
+        auto common = std::make_shared<FileCommon>();
+        common->fs_id = fs_id;
+        common->name = name;
+        common->hints = hints;
+        common->comm = comm;
+        return common;
+      });
+  // Collective open semantics: nobody proceeds until everyone has opened.
+  mpi::barrier(self, comm);
+  if (amode & kModeAppend) {
+    position_ = self.world().fs().file_size(common_->fs_id) /
+                view_.etype_size();
+  }
+}
+
+void FileHandle::require_writable() const {
+  if (amode_ & kModeRdonly) {
+    throw std::logic_error("FileHandle: write on a read-only handle");
+  }
+}
+
+void FileHandle::require_readable() const {
+  if (amode_ & kModeWronly) {
+    throw std::logic_error("FileHandle: read on a write-only handle");
+  }
+}
+
+void FileHandle::set_view(std::uint64_t disp, std::uint64_t etype_size,
+                          const dtype::Datatype& filetype) {
+  view_ = FileView(disp, etype_size, filetype);
+  engine_cache_.reset();  // the access pattern may change with the view
+  position_ = 0;          // MPI_File_set_view resets the file pointers
+}
+
+void FileHandle::seek(std::int64_t offset, Whence whence) {
+  std::int64_t base = 0;
+  switch (whence) {
+    case Whence::Set:
+      base = 0;
+      break;
+    case Whence::Cur:
+      base = static_cast<std::int64_t>(position_);
+      break;
+    case Whence::End: {
+      if (!view_.contiguous()) {
+        throw std::logic_error(
+            "FileHandle::seek: Whence::End requires a contiguous view");
+      }
+      const std::uint64_t bytes = size() > view_.disp() ? size() - view_.disp() : 0;
+      base = static_cast<std::int64_t>(bytes / view_.etype_size());
+      break;
+    }
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) {
+    throw std::invalid_argument("FileHandle::seek: negative file position");
+  }
+  position_ = static_cast<std::uint64_t>(target);
+}
+
+void FileHandle::advance_bytes(std::uint64_t bytes) {
+  position_ += bytes / view_.etype_size();
+}
+
+void FileHandle::write(const void* buffer, std::uint64_t count,
+                       const dtype::Datatype& memtype) {
+  write_at(position_, buffer, count, memtype);
+  advance_bytes(count * memtype.size());
+}
+
+void FileHandle::read(void* buffer, std::uint64_t count,
+                      const dtype::Datatype& memtype) {
+  read_at(position_, buffer, count, memtype);
+  advance_bytes(count * memtype.size());
+}
+
+void FileHandle::sync() {
+  // A flush round trip to the servers; data is already durable in the
+  // simulated store, so only the latency matters.
+  const double start = self_.now();
+  self_.engine().sleep(0.5e-3);
+  self_.times().add(mpi::TimeCat::IO, self_.now() - start);
+}
+
+namespace {
+/// Fetch-and-add on the shared pointer: one metadata server round trip.
+std::uint64_t claim_shared(mpi::Rank& self, FileCommon& common,
+                           std::uint64_t etypes) {
+  self.busy(mpi::TimeCat::IO, 0.25e-3);  // pointer-server round trip
+  const std::uint64_t at = common.shared_position;
+  common.shared_position += etypes;
+  return at;
+}
+}  // namespace
+
+void FileHandle::write_shared(const void* buffer, std::uint64_t count,
+                              const dtype::Datatype& memtype) {
+  const std::uint64_t etypes = count * memtype.size() / view_.etype_size();
+  const std::uint64_t at = claim_shared(self_, *common_, etypes);
+  write_at(at, buffer, count, memtype);
+}
+
+void FileHandle::read_shared(void* buffer, std::uint64_t count,
+                             const dtype::Datatype& memtype) {
+  const std::uint64_t etypes = count * memtype.size() / view_.etype_size();
+  const std::uint64_t at = claim_shared(self_, *common_, etypes);
+  read_at(at, buffer, count, memtype);
+}
+
+mpi::TimeBreakdown FileHandle::time_delta(const mpi::TimeBreakdown& before,
+                                          const mpi::TimeBreakdown& after) {
+  mpi::TimeBreakdown delta;
+  for (std::size_t i = 0; i < mpi::kNumTimeCats; ++i) {
+    delta.seconds[i] = after.seconds[i] - before.seconds[i];
+  }
+  return delta;
+}
+
+PreparedRequest FileHandle::prepare_write(std::uint64_t offset,
+                                          const void* buffer,
+                                          std::uint64_t count,
+                                          const dtype::Datatype& memtype) {
+  PreparedRequest request;
+  request.bytes = count * memtype.size();
+  request.extents = view_.map(offset, request.bytes);
+  if (buffer != nullptr && request.bytes > 0) {
+    request.packed.resize(request.bytes);
+    dtype::pack(buffer, memtype, count, request.packed.data());
+  }
+  self_.touch_bytes(static_cast<double>(request.bytes));  // pack cost
+  return request;
+}
+
+PreparedRequest FileHandle::prepare_read(std::uint64_t offset,
+                                         const void* buffer,
+                                         std::uint64_t count,
+                                         const dtype::Datatype& memtype) {
+  PreparedRequest request;
+  request.bytes = count * memtype.size();
+  request.extents = view_.map(offset, request.bytes);
+  if (buffer != nullptr && request.bytes > 0) {
+    request.packed.resize(request.bytes);
+  }
+  return request;
+}
+
+void FileHandle::finish_read(PreparedRequest& request, void* buffer,
+                             std::uint64_t count,
+                             const dtype::Datatype& memtype) {
+  if (buffer != nullptr && !request.packed.empty()) {
+    dtype::unpack(request.packed.data(), memtype, count, buffer);
+  }
+  self_.touch_bytes(static_cast<double>(request.bytes));  // unpack cost
+}
+
+void FileHandle::write_at(std::uint64_t offset, const void* buffer,
+                          std::uint64_t count, const dtype::Datatype& memtype) {
+  require_writable();
+  const auto before = time_snapshot();
+  PreparedRequest request = prepare_write(offset, buffer, count, memtype);
+  DirectTarget target(self_.world().fs(), fs_id());
+  const bool lock = atomic_ && !request.extents.empty();
+  fs::Extent span{};
+  if (lock) {
+    span = fs::Extent{request.extents.front().offset,
+                      request.extents.back().end() -
+                          request.extents.front().offset};
+    self_.world().fs().range_locks().lock(self_.rank(), fs_id(), span);
+  }
+  target.write(self_, request.extents, request.data());
+  if (lock) {
+    self_.world().fs().range_locks().unlock(self_.rank(), fs_id(), span);
+  }
+  FileStats delta;
+  delta.time = time_delta(before, time_snapshot());
+  delta.bytes_written = request.bytes;
+  delta.independent_writes = 1;
+  add_stats(delta);
+}
+
+void FileHandle::read_at(std::uint64_t offset, void* buffer,
+                         std::uint64_t count, const dtype::Datatype& memtype) {
+  require_readable();
+  const auto before = time_snapshot();
+  PreparedRequest request = prepare_read(offset, buffer, count, memtype);
+  DirectTarget target(self_.world().fs(), fs_id());
+  target.read(self_, request.extents, request.packed.empty()
+                                          ? nullptr
+                                          : request.packed.data());
+  finish_read(request, buffer, count, memtype);
+  FileStats delta;
+  delta.time = time_delta(before, time_snapshot());
+  delta.bytes_read = request.bytes;
+  delta.independent_reads = 1;
+  add_stats(delta);
+}
+
+void FileHandle::close() {
+  if (!open_) {
+    throw std::logic_error("FileHandle::close: already closed");
+  }
+  open_ = false;
+  mpi::barrier(self_, common_->comm);
+}
+
+}  // namespace parcoll::mpiio

@@ -1,0 +1,89 @@
+#include "mpiio/hints.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace parcoll::mpiio {
+
+namespace {
+std::vector<int> parse_int_list(const std::string& value) {
+  std::vector<int> out;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(std::stoi(item));
+    }
+  }
+  return out;
+}
+std::string format_int_list(const std::vector<int>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+}  // namespace
+
+void Hints::set(const std::string& key, const std::string& value) {
+  if (key == "cb_buffer_size") {
+    cb_buffer_size = std::stoull(value);
+  } else if (key == "cb_nodes") {
+    cb_nodes = std::stoi(value);
+  } else if (key == "cb_node_list") {
+    cb_node_list = parse_int_list(value);
+  } else if (key == "striping_factor") {
+    striping_factor = std::stoi(value);
+  } else if (key == "striping_unit") {
+    striping_unit = std::stoull(value);
+  } else if (key == "romio_cb_write" || key == "romio_cb_read") {
+    bool enabled;
+    if (value == "enable" || value == "automatic") {
+      enabled = true;
+    } else if (value == "disable") {
+      enabled = false;
+    } else {
+      throw std::invalid_argument("Hints::set: bad " + key + " value");
+    }
+    (key == "romio_cb_write" ? cb_write_enabled : cb_read_enabled) = enabled;
+  } else if (key == "cb_fd_align") {
+    cb_fd_align = (value == "true" || value == "1" || value == "enable");
+  } else if (key == "romio_no_indep_rw") {
+    no_indep_rw = (value == "true" || value == "1" || value == "enable");
+  } else if (key == "parcoll_num_groups") {
+    parcoll_num_groups = value == "auto" ? -1 : std::stoi(value);
+  } else if (key == "parcoll_min_group_size") {
+    parcoll_min_group_size = std::stoi(value);
+  } else if (key == "parcoll_view_switch") {
+    parcoll_view_switch = (value == "true" || value == "1");
+  } else if (key == "parcoll_persistent_groups") {
+    parcoll_persistent_groups = (value == "true" || value == "1");
+  } else {
+    throw std::invalid_argument("Hints::set: unknown hint key: " + key);
+  }
+}
+
+std::string Hints::get(const std::string& key) const {
+  if (key == "cb_buffer_size") return std::to_string(cb_buffer_size);
+  if (key == "cb_nodes") return std::to_string(cb_nodes);
+  if (key == "cb_node_list") return format_int_list(cb_node_list);
+  if (key == "striping_factor") return std::to_string(striping_factor);
+  if (key == "striping_unit") return std::to_string(striping_unit);
+  if (key == "romio_cb_write") return cb_write_enabled ? "enable" : "disable";
+  if (key == "romio_cb_read") return cb_read_enabled ? "enable" : "disable";
+  if (key == "romio_no_indep_rw") return no_indep_rw ? "true" : "false";
+  if (key == "cb_fd_align") return cb_fd_align ? "true" : "false";
+  if (key == "parcoll_num_groups") return std::to_string(parcoll_num_groups);
+  if (key == "parcoll_min_group_size") {
+    return std::to_string(parcoll_min_group_size);
+  }
+  if (key == "parcoll_view_switch") return parcoll_view_switch ? "true" : "false";
+  if (key == "parcoll_persistent_groups") {
+    return parcoll_persistent_groups ? "true" : "false";
+  }
+  throw std::invalid_argument("Hints::get: unknown hint key: " + key);
+}
+
+}  // namespace parcoll::mpiio

@@ -1,0 +1,68 @@
+// MPI_Info-style hints controlling collective buffering, striping, and the
+// ParColl extensions.
+//
+// The ROMIO-compatible keys (cb_buffer_size, cb_nodes, striping_factor,
+// striping_unit) keep their usual meaning. Following paper §4.2, an
+// application may pass either the number of aggregators to take from the
+// default node list (cb_nodes) or an explicit list of physical nodes
+// (cb_node_list). ParColl adds its own keys without altering the semantics
+// of the existing ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcoll::mpiio {
+
+struct Hints {
+  /// Collective buffer per aggregator per cycle (ROMIO default 4 MB).
+  std::uint64_t cb_buffer_size = 4ull << 20;
+  /// Number of aggregator nodes, taken from the head of the default node
+  /// list; 0 = all nodes (the Cray XT default behaviour in the paper).
+  int cb_nodes = 0;
+  /// Explicit aggregator node list; overrides cb_nodes when non-empty.
+  std::vector<int> cb_node_list;
+
+  /// Lustre striping applied at create time.
+  int striping_factor = 64;
+  std::uint64_t striping_unit = 4ull << 20;
+
+  /// romio_cb_write / romio_cb_read: when false, the corresponding
+  /// collective calls are serviced locally with data sieving (no
+  /// coordination), as ROMIO degrades them.
+  bool cb_write_enabled = true;
+  bool cb_read_enabled = true;
+  /// romio_no_indep_rw: the application promises no independent I/O, so
+  /// non-aggregator processes defer the (metadata-costly) file open.
+  bool no_indep_rw = false;
+  /// Align file-domain boundaries to the file's stripe size (the
+  /// Lustre-aware ADIO optimization). Off by default, as in classic ROMIO.
+  bool cb_fd_align = false;
+
+  // --- ParColl extensions (this paper) ---
+  /// Number of subgroups (ParColl-N in the paper's figures). 0 disables
+  /// partitioning (plain ext2ph); -1 ("auto") lets the planner pick from
+  /// the access pattern: as many clean-split groups as the least group
+  /// size permits, or ~sqrt(P) groups under the intermediate view.
+  int parcoll_num_groups = 0;
+  /// Lower bound on subgroup size; the paper runs with "a least group size
+  /// of 8". Requested group counts are clamped to respect it.
+  int parcoll_min_group_size = 8;
+  /// Permit the intermediate-file-view switch for scattered patterns
+  /// (paper Fig. 4c). When false, patterns whose file areas intersect fall
+  /// back to fewer (possibly one) subgroups.
+  bool parcoll_view_switch = true;
+  /// Reuse the subgroup partition across collective calls on the same file
+  /// view (the paper ties pattern detection to view initiation). With it,
+  /// only the first call pays a global exchange; later calls synchronize
+  /// within subgroups only, letting groups drift past slow storage epochs.
+  /// Disable when successive calls change the rank-to-offset ordering.
+  bool parcoll_persistent_groups = true;
+
+  /// MPI_Info-style string interface. Unknown keys throw.
+  void set(const std::string& key, const std::string& value);
+  [[nodiscard]] std::string get(const std::string& key) const;
+};
+
+}  // namespace parcoll::mpiio

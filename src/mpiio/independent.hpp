@@ -1,0 +1,27 @@
+// Non-collective I/O strategies.
+//
+// FileHandle::write_at/read_at already provide batched independent I/O:
+// all of a request's extents are issued as one pipelined operation. This
+// header adds the strictly POSIX-style variant — one blocking call per
+// contiguous extent, which is what an application gets from liblustre
+// without any MPI-IO optimization. The paper's "Cray w/o Coll" series
+// (Fig. 11, ~60 MB/s for Flash I/O) is this code path.
+#pragma once
+
+#include <cstdint>
+
+#include "dtype/datatype.hpp"
+#include "mpiio/file.hpp"
+
+namespace parcoll::mpiio {
+
+/// Write through the view, issuing each contiguous file extent as its own
+/// blocking call (no pipelining across extents).
+void posix_write_at(FileHandle& file, std::uint64_t offset, const void* buffer,
+                    std::uint64_t count, const dtype::Datatype& memtype);
+
+/// Read counterpart of posix_write_at.
+void posix_read_at(FileHandle& file, std::uint64_t offset, void* buffer,
+                   std::uint64_t count, const dtype::Datatype& memtype);
+
+}  // namespace parcoll::mpiio

@@ -1,0 +1,48 @@
+#include "mpiio/stats.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace parcoll::mpiio {
+
+FileStats& FileStats::operator+=(const FileStats& other) {
+  time += other.time;
+  bytes_written += other.bytes_written;
+  bytes_read += other.bytes_read;
+  collective_writes += other.collective_writes;
+  collective_reads += other.collective_reads;
+  independent_writes += other.independent_writes;
+  independent_reads += other.independent_reads;
+  exchange_cycles += other.exchange_cycles;
+  rmw_reads += other.rmw_reads;
+  parcoll_calls += other.parcoll_calls;
+  view_switches += other.view_switches;
+  last_num_groups = other.last_num_groups ? other.last_num_groups
+                                          : last_num_groups;
+  return *this;
+}
+
+std::string FileStats::summary(const std::string& name) const {
+  std::ostringstream os;
+  os << "file \"" << name << "\" summary:\n";
+  os << "  time:   compute=" << time[mpi::TimeCat::Compute]
+     << "s p2p=" << time[mpi::TimeCat::P2P]
+     << "s sync=" << time[mpi::TimeCat::Sync]
+     << "s io=" << time[mpi::TimeCat::IO] << "s (sum over ranks)\n";
+  os << "  data:   written=" << bytes_written << "B read=" << bytes_read
+     << "B\n";
+  os << "  calls:  coll_w=" << collective_writes << " coll_r="
+     << collective_reads << " indep_w=" << independent_writes << " indep_r="
+     << independent_reads << "\n";
+  os << "  cycles: " << exchange_cycles << " (rmw_reads=" << rmw_reads
+     << ")\n";
+  os << "  parcoll: calls=" << parcoll_calls << " view_switches="
+     << view_switches << " last_groups=" << last_num_groups;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const FileStats& stats) {
+  return os << stats.summary("");
+}
+
+}  // namespace parcoll::mpiio

@@ -1,0 +1,42 @@
+// Per-file I/O statistics, mirroring the paper's profiler: "we profiled
+// these processing tasks at run-time. When a file is closed, a summary is
+// reported." The breakdown categories are the paper's Fig. 2 series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "mpi/timecat.hpp"
+
+namespace parcoll::mpiio {
+
+struct FileStats {
+  /// Time spent inside this file's I/O operations, summed over all ranks.
+  mpi::TimeBreakdown time;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t collective_writes = 0;
+  std::uint64_t collective_reads = 0;
+  std::uint64_t independent_writes = 0;
+  std::uint64_t independent_reads = 0;
+  /// Total data-exchange/file-I/O cycles executed across collective calls.
+  std::uint64_t exchange_cycles = 0;
+  /// Read-modify-write fills performed by aggregators (write holes).
+  std::uint64_t rmw_reads = 0;
+  /// Collective calls that went through ParColl partitioning.
+  std::uint64_t parcoll_calls = 0;
+  /// ParColl calls that switched to an intermediate file view (Fig. 4c).
+  std::uint64_t view_switches = 0;
+  /// Subgroups used by the most recent ParColl call.
+  int last_num_groups = 0;
+
+  FileStats& operator+=(const FileStats& other);
+
+  /// The close-time summary (single line per category plus counters).
+  [[nodiscard]] std::string summary(const std::string& name) const;
+};
+
+std::ostream& operator<<(std::ostream& os, const FileStats& stats);
+
+}  // namespace parcoll::mpiio

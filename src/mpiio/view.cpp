@@ -1,0 +1,77 @@
+#include "mpiio/view.hpp"
+
+#include <stdexcept>
+
+namespace parcoll::mpiio {
+
+FileView::FileView() {
+  flat_ = dtype::FlatType::from(dtype::Datatype::bytes(1));
+}
+
+FileView::FileView(std::uint64_t disp, std::uint64_t etype_size,
+                   const dtype::Datatype& filetype)
+    : disp_(disp), etype_size_(etype_size) {
+  if (etype_size == 0) {
+    throw std::invalid_argument("FileView: etype size must be positive");
+  }
+  if (!filetype.monotone()) {
+    throw std::invalid_argument(
+        "FileView: filetype displacements must be monotonically "
+        "non-decreasing");
+  }
+  if (filetype.size() == 0) {
+    throw std::invalid_argument("FileView: filetype has no data");
+  }
+  if (filetype.lb() < 0) {
+    throw std::invalid_argument("FileView: negative lower bound");
+  }
+  if (filetype.size() % etype_size != 0) {
+    throw std::invalid_argument(
+        "FileView: filetype size must be a multiple of the etype size");
+  }
+  flat_ = dtype::FlatType::from(filetype);
+  contiguous_ = flat_.segs.size() == 1 && flat_.segs[0].disp == 0 &&
+                flat_.size == static_cast<std::uint64_t>(flat_.extent);
+}
+
+std::vector<fs::Extent> FileView::map(std::uint64_t offset_etypes,
+                                      std::uint64_t nbytes) const {
+  std::vector<fs::Extent> extents;
+  if (nbytes == 0) return extents;
+  const std::uint64_t begin = offset_etypes * etype_size_;
+  const std::uint64_t end = begin + nbytes;
+
+  if (contiguous_) {
+    extents.push_back(fs::Extent{disp_ + begin, nbytes});
+    return extents;
+  }
+
+  const std::uint64_t tile_bytes = flat_.size;
+  const auto tile_span = static_cast<std::uint64_t>(flat_.extent);
+  auto emit = [&](std::uint64_t offset, std::uint64_t length) {
+    if (length == 0) return;
+    if (!extents.empty() &&
+        extents.back().offset + extents.back().length == offset) {
+      extents.back().length += length;
+    } else {
+      extents.push_back(fs::Extent{offset, length});
+    }
+  };
+
+  std::uint64_t pos = begin;
+  while (pos < end) {
+    const std::uint64_t tile = pos / tile_bytes;
+    const std::uint64_t in_tile_begin = pos - tile * tile_bytes;
+    const std::uint64_t in_tile_end =
+        std::min<std::uint64_t>(end - tile * tile_bytes, tile_bytes);
+    for (const dtype::Segment& seg :
+         flat_.stream_range(in_tile_begin, in_tile_end)) {
+      emit(disp_ + tile * tile_span + static_cast<std::uint64_t>(seg.disp),
+           seg.length);
+    }
+    pos = (tile + 1) * tile_bytes;
+  }
+  return extents;
+}
+
+}  // namespace parcoll::mpiio

@@ -1,0 +1,52 @@
+// File views: (displacement, etype, filetype), MPI_File_set_view semantics.
+//
+// The view defines a data stream: the filetype is tiled end to end starting
+// at `disp`, and the stream consists of the bytes the filetype's segments
+// select from each tile. Offsets in read/write calls count etypes within
+// that stream. map() converts a stream range into absolute file extents —
+// always monotone, because file views require monotone filetypes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dtype/datatype.hpp"
+#include "dtype/flatten.hpp"
+#include "fs/stripe.hpp"
+
+namespace parcoll::mpiio {
+
+class FileView {
+ public:
+  /// Default view: byte stream starting at offset 0.
+  FileView();
+
+  FileView(std::uint64_t disp, std::uint64_t etype_size,
+           const dtype::Datatype& filetype);
+
+  [[nodiscard]] std::uint64_t disp() const { return disp_; }
+  [[nodiscard]] std::uint64_t etype_size() const { return etype_size_; }
+  /// Data bytes per filetype tile.
+  [[nodiscard]] std::uint64_t tile_size() const { return flat_.size; }
+  /// File bytes per filetype tile.
+  [[nodiscard]] std::uint64_t tile_extent() const {
+    return static_cast<std::uint64_t>(flat_.extent);
+  }
+  /// True if the view is a dense byte stream (no holes).
+  [[nodiscard]] bool contiguous() const { return contiguous_; }
+
+  /// Absolute file extents covering stream bytes
+  /// [offset_etypes * etype_size, + nbytes), coalesced and monotone.
+  /// The k-th byte of the stream range corresponds to the k-th byte of the
+  /// returned extents walked in order.
+  [[nodiscard]] std::vector<fs::Extent> map(std::uint64_t offset_etypes,
+                                            std::uint64_t nbytes) const;
+
+ private:
+  std::uint64_t disp_ = 0;
+  std::uint64_t etype_size_ = 1;
+  dtype::FlatType flat_;
+  bool contiguous_ = true;
+};
+
+}  // namespace parcoll::mpiio

@@ -1,0 +1,39 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace parcoll::net {
+
+Network::Network(const machine::Topology& topology,
+                 const machine::NetworkParams& params,
+                 const machine::MemoryParams& mem)
+    : params_(params),
+      mem_(mem),
+      tx_busy_until_(static_cast<std::size_t>(topology.num_nodes()), 0.0),
+      rx_busy_until_(static_cast<std::size_t>(topology.num_nodes()), 0.0) {}
+
+double Network::transfer(double ready, int src_node, int dst_node,
+                         std::uint64_t bytes) {
+  if (src_node < 0 || dst_node < 0 ||
+      static_cast<std::size_t>(src_node) >= tx_busy_until_.size() ||
+      static_cast<std::size_t>(dst_node) >= rx_busy_until_.size()) {
+    throw std::out_of_range("Network::transfer: bad node id");
+  }
+  if (src_node == dst_node) {
+    // Intra-node: a memory copy between the two processes' address spaces
+    // (Catamount delivers user-space to user-space without kernel buffering).
+    return ready + static_cast<double>(bytes) / mem_.memcpy_bandwidth;
+  }
+  auto& tx = tx_busy_until_[static_cast<std::size_t>(src_node)];
+  auto& rx = rx_busy_until_[static_cast<std::size_t>(dst_node)];
+  const double start = std::max({ready, tx, rx});
+  const double done =
+      start + params_.p2p_latency +
+      static_cast<double>(bytes) / params_.p2p_bandwidth;
+  tx = done;
+  rx = done;
+  return done;
+}
+
+}  // namespace parcoll::net

@@ -1,0 +1,42 @@
+// Interconnect model.
+//
+// Point-to-point transfers follow the classic alpha-beta model with one
+// extra realism that matters for collective I/O: each node's NIC serializes
+// its injections and extractions. An aggregator receiving from many ranks
+// therefore drains them one after another, which is exactly why request
+// aggregation pays off only while synchronization cost stays small.
+//
+// The network does not run simulated processes of its own: a transfer is a
+// pure reservation on the sender's TX queue and the receiver's RX queue,
+// returning the completion time; callers sleep until then.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+
+namespace parcoll::net {
+
+class Network {
+ public:
+  Network(const machine::Topology& topology,
+          const machine::NetworkParams& params,
+          const machine::MemoryParams& mem);
+
+  /// Reserve the path for a `bytes`-long message from `src_node` to
+  /// `dst_node`, earliest start `ready`. Returns the delivery time.
+  /// Same-node transfers go through memory at memcpy bandwidth.
+  double transfer(double ready, int src_node, int dst_node,
+                  std::uint64_t bytes);
+
+  [[nodiscard]] const machine::NetworkParams& params() const { return params_; }
+
+ private:
+  machine::NetworkParams params_;
+  machine::MemoryParams mem_;
+  std::vector<double> tx_busy_until_;
+  std::vector<double> rx_busy_until_;
+};
+
+}  // namespace parcoll::net

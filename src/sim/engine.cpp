@@ -1,0 +1,153 @@
+#include "sim/engine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace parcoll::sim {
+
+ProcId Engine::spawn(std::function<void()> body, std::size_t stack_bytes) {
+  const ProcId pid = static_cast<ProcId>(procs_.size());
+  Process proc;
+  proc.fiber = std::make_unique<Fiber>(std::move(body), stack_bytes);
+  proc.state = ProcState::Runnable;
+  procs_.push_back(std::move(proc));
+  ++live_;
+  schedule_resume(now_, pid);
+  return pid;
+}
+
+void Engine::schedule_resume(double t, ProcId pid) {
+  queue_.push(Event{t, event_seq_++, pid, nullptr});
+}
+
+void Engine::post(double t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::post: time in the past");
+  }
+  queue_.push(Event{t, event_seq_++, kNoProc, std::move(fn)});
+}
+
+void Engine::resume_process(ProcId pid) {
+  // Note: the fiber body may spawn new processes, reallocating procs_, so
+  // never hold a Process reference across resume(). The Fiber object itself
+  // is heap-allocated and stable.
+  Fiber* fiber = nullptr;
+  {
+    Process& proc = procs_.at(static_cast<std::size_t>(pid));
+    if (proc.state == ProcState::Finished) {
+      throw std::logic_error("Engine: resuming finished process");
+    }
+    proc.state = ProcState::Running;
+    fiber = proc.fiber.get();
+  }
+  current_ = pid;
+  try {
+    fiber->resume();
+  } catch (...) {
+    // The body exited with an exception: mark the process dead so the
+    // engine stays consistent, then let the error reach run()'s caller.
+    current_ = kNoProc;
+    Process& failed = procs_[static_cast<std::size_t>(pid)];
+    failed.state = ProcState::Finished;
+    failed.fiber.reset();
+    --live_;
+    throw;
+  }
+  current_ = kNoProc;
+  Process& proc = procs_[static_cast<std::size_t>(pid)];
+  if (fiber->finished()) {
+    proc.state = ProcState::Finished;
+    proc.fiber.reset();  // release the stack eagerly
+    --live_;
+  }
+  // Otherwise the process suspended itself (sleep/suspend set its state).
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    if (event.pid == kNoProc) {
+      event.callback();
+    } else {
+      resume_process(event.pid);
+    }
+  }
+  if (live_ > 0) {
+    std::ostringstream message;
+    message << "simulation deadlock at t=" << now_ << "s; blocked processes:";
+    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+      if (procs_[pid].state == ProcState::Blocked) {
+        message << " [pid " << pid << ": " << procs_[pid].block_reason << "]";
+      }
+    }
+    throw DeadlockError(message.str());
+  }
+}
+
+void Engine::sleep(double seconds) {
+  if (seconds < 0) {
+    throw std::logic_error("Engine::sleep: negative duration");
+  }
+  sleep_until(now_ + seconds);
+}
+
+void Engine::sleep_until(double t) {
+  const ProcId pid = current_;
+  if (pid == kNoProc) {
+    throw std::logic_error("Engine::sleep_until outside a process");
+  }
+  if (t <= now_) {
+    return;  // nothing to wait for; keep running
+  }
+  Process& proc = procs_[static_cast<std::size_t>(pid)];
+  proc.state = ProcState::Runnable;  // will run again without external wake
+  schedule_resume(t, pid);
+  proc.fiber->yield();
+}
+
+void Engine::suspend(const char* why) {
+  const ProcId pid = current_;
+  if (pid == kNoProc) {
+    throw std::logic_error("Engine::suspend outside a process");
+  }
+  Process& proc = procs_[static_cast<std::size_t>(pid)];
+  proc.state = ProcState::Blocked;
+  proc.block_reason = why;
+  proc.fiber->yield();
+}
+
+void Engine::wake_at(double t, ProcId pid) {
+  if (t < now_) {
+    throw std::logic_error("Engine::wake_at: time in the past");
+  }
+  Process& proc = procs_.at(static_cast<std::size_t>(pid));
+  if (proc.state != ProcState::Blocked) {
+    throw std::logic_error("Engine::wake_at: process is not suspended");
+  }
+  proc.state = ProcState::Runnable;
+  proc.block_reason.clear();
+  schedule_resume(t, pid);
+}
+
+void WaitQueue::wait(Engine& engine, const char* why) {
+  waiters_.push_back(engine.current());
+  engine.suspend(why);
+}
+
+bool WaitQueue::notify_one(Engine& engine) {
+  if (waiters_.empty()) return false;
+  const ProcId pid = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  engine.wake(pid);
+  return true;
+}
+
+void WaitQueue::notify_all(Engine& engine) {
+  while (notify_one(engine)) {
+  }
+}
+
+}  // namespace parcoll::sim

@@ -1,0 +1,147 @@
+// Discrete-event simulation engine.
+//
+// The engine owns a virtual clock and a time-ordered event queue. Simulated
+// processes are fibers (sim/fiber.hpp) that run ordinary blocking code and
+// interact with the engine through sleep()/suspend(); resources such as
+// network links and storage servers are modeled analytically by the layers
+// above (they reserve busy time and put the caller to sleep until the
+// reservation completes), so the engine itself stays tiny.
+//
+// Determinism: events with equal timestamps are ordered by a monotone
+// sequence number, so a given program produces an identical schedule on
+// every run.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace parcoll::sim {
+
+/// Identifier of a simulated process (dense, starting at 0).
+using ProcId = int;
+inline constexpr ProcId kNoProc = -1;
+
+/// Thrown by Engine::run when no event is pending but processes are still
+/// blocked — i.e. the simulated program deadlocked. The message lists each
+/// blocked process and the reason string it passed to suspend().
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+class Engine {
+ public:
+  Engine() = default;
+
+  /// Create a process whose body starts executing at the current virtual
+  /// time (time 0 if called before run()). May be called from inside a
+  /// running process to spawn dynamically.
+  ProcId spawn(std::function<void()> body,
+               std::size_t stack_bytes = Fiber::kDefaultStackBytes);
+
+  /// Run events until every spawned process has finished.
+  /// Throws DeadlockError if progress stops with processes still blocked.
+  void run();
+
+  /// Current virtual time, seconds.
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Stable address of the clock, for observers recording timestamps
+  /// without holding an Engine reference (e.g. the tracer).
+  [[nodiscard]] const double* now_address() const { return &now_; }
+
+  /// The process currently executing, or kNoProc from scheduler context.
+  [[nodiscard]] ProcId current() const { return current_; }
+
+  /// Number of processes that have been spawned but not yet finished.
+  [[nodiscard]] std::size_t live_processes() const { return live_; }
+
+  // --- Calls below are only valid from inside a process fiber. ---
+
+  /// Advance this process's virtual time by `seconds` (>= 0).
+  void sleep(double seconds);
+
+  /// Sleep until absolute virtual time `t` (no-op if t <= now()).
+  void sleep_until(double t);
+
+  /// Block until another process (or event) calls wake() on us.
+  /// `why` is reported in the deadlock message if we never wake.
+  void suspend(const char* why);
+
+  // --- Calls below are valid from anywhere. ---
+
+  /// Make a blocked process runnable again at virtual time `t` (>= now).
+  /// It is an error to wake a process that is not suspended.
+  void wake_at(double t, ProcId pid);
+
+  /// Make a blocked process runnable at the current virtual time.
+  void wake(ProcId pid) { wake_at(now_, pid); }
+
+  /// Run `fn` on the scheduler context at virtual time `t` (>= now).
+  void post(double t, std::function<void()> fn);
+
+  /// Monotone counter; used by models that need a deterministic
+  /// per-engine sequence (e.g. jitter streams).
+  std::uint64_t next_stream_seq() { return stream_seq_++; }
+
+ private:
+  enum class ProcState { Runnable, Running, Blocked, Finished };
+
+  struct Process {
+    std::unique_ptr<Fiber> fiber;
+    ProcState state = ProcState::Runnable;
+    std::string block_reason;
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    ProcId pid;                    // kNoProc => callback event
+    std::function<void()> callback;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;  // min-heap: earlier seq first
+    }
+  };
+
+  void schedule_resume(double t, ProcId pid);
+  void resume_process(ProcId pid);
+
+  std::vector<Process> procs_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  double now_ = 0.0;
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t stream_seq_ = 0;
+  ProcId current_ = kNoProc;
+  std::size_t live_ = 0;
+};
+
+/// Condition-variable analogue for simulated processes: a FIFO of blocked
+/// process ids. Wait/notify are instantaneous in virtual time.
+class WaitQueue {
+ public:
+  /// Suspend the calling process until notified.
+  void wait(Engine& engine, const char* why);
+
+  /// Wake the oldest waiter, if any. Returns true if one was woken.
+  bool notify_one(Engine& engine);
+
+  /// Wake all waiters.
+  void notify_all(Engine& engine);
+
+  [[nodiscard]] bool empty() const { return waiters_.empty(); }
+  [[nodiscard]] std::size_t size() const { return waiters_.size(); }
+
+ private:
+  std::vector<ProcId> waiters_;
+};
+
+}  // namespace parcoll::sim

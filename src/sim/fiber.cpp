@@ -1,0 +1,72 @@
+#include "sim/fiber.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+
+namespace parcoll::sim {
+
+thread_local Fiber* Fiber::current_ = nullptr;
+
+Fiber::Fiber(Body body, std::size_t stack_bytes)
+    : stack_(new char[stack_bytes]), body_(std::move(body)) {
+  if (getcontext(&context_) != 0) {
+    throw std::runtime_error("Fiber: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_bytes;
+  context_.uc_link = &return_point_;
+  // makecontext only passes ints, so smuggle `this` through two halves.
+  auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned int>(self >> 32),
+              static_cast<unsigned int>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() = default;
+
+void Fiber::trampoline(unsigned int ptr_hi, unsigned int ptr_lo) {
+  auto self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(ptr_hi) << 32) |
+      static_cast<std::uintptr_t>(ptr_lo));
+  self->run_body();
+  // Returning lets ucontext follow uc_link back to return_point_.
+}
+
+void Fiber::run_body() {
+  try {
+    body_();
+  } catch (...) {
+    exception_ = std::current_exception();
+  }
+  finished_ = true;
+  current_ = nullptr;
+}
+
+void Fiber::resume() {
+  if (finished_) {
+    throw std::logic_error("Fiber::resume on finished fiber");
+  }
+  if (current_ != nullptr) {
+    throw std::logic_error("Fiber::resume called from inside a fiber");
+  }
+  started_ = true;
+  current_ = this;
+  swapcontext(&return_point_, &context_);
+  // Back on the scheduler: either the fiber yielded or it finished.
+  if (finished_ && exception_) {
+    std::exception_ptr rethrown = std::exchange(exception_, nullptr);
+    std::rethrow_exception(rethrown);
+  }
+}
+
+void Fiber::yield() {
+  if (current_ != this) {
+    throw std::logic_error("Fiber::yield called from the wrong context");
+  }
+  current_ = nullptr;
+  swapcontext(&context_, &return_point_);
+  current_ = this;
+}
+
+}  // namespace parcoll::sim

@@ -1,0 +1,67 @@
+// Cooperative fibers built on POSIX ucontext.
+//
+// Every simulated process (an MPI rank in this codebase) runs ordinary
+// blocking C++ code on its own fiber stack. The discrete-event engine owns
+// the scheduler context; a fiber runs until it blocks (yield) and is later
+// resumed at a new point in virtual time. Everything is single-threaded, so
+// no locking is needed anywhere in the simulator.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace parcoll::sim {
+
+/// A single cooperative execution context with its own stack.
+///
+/// Lifecycle: construct with a body, call resume() repeatedly from the
+/// scheduler until finished(). The body calls yield() to give control back.
+/// Fibers are not copyable or movable (the ucontext points into the stack).
+class Fiber {
+ public:
+  using Body = std::function<void()>;
+
+  explicit Fiber(Body body, std::size_t stack_bytes = kDefaultStackBytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the caller into the fiber. Returns when the fiber yields
+  /// or its body returns. Must not be called on a finished fiber, nor from
+  /// inside any fiber (only the scheduler resumes). If the body exited with
+  /// an exception, it is rethrown here (exceptions cannot unwind across a
+  /// context switch) with the fiber marked finished.
+  void resume();
+
+  /// Switch from inside the fiber back to whoever resumed it.
+  void yield();
+
+  /// True once the body has returned. A finished fiber must not be resumed.
+  [[nodiscard]] bool finished() const { return finished_; }
+
+  /// The fiber currently executing on this thread, or nullptr when the
+  /// scheduler context is running.
+  static Fiber* current() { return current_; }
+
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+ private:
+  static void trampoline(unsigned int ptr_hi, unsigned int ptr_lo);
+  void run_body();
+
+  ucontext_t context_{};
+  ucontext_t return_point_{};
+  std::unique_ptr<char[]> stack_;
+  Body body_;
+  std::exception_ptr exception_;
+  bool started_ = false;
+  bool finished_ = false;
+
+  static thread_local Fiber* current_;
+};
+
+}  // namespace parcoll::sim

@@ -1,0 +1,26 @@
+// Deterministic, stateless pseudo-randomness for the simulator.
+//
+// Every source of "noise" in the simulation (OST service jitter, etc.)
+// is a pure hash of (seed, stream identifiers, sequence number), so a run
+// is reproducible bit-for-bit regardless of event interleaving and no
+// mutable RNG state has to be threaded through the model.
+#pragma once
+
+#include <cstdint>
+
+namespace parcoll::sim {
+
+/// splitmix64 finalizer: a strong 64-bit mixing function.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+/// Combine hash values (boost::hash_combine style, 64-bit).
+[[nodiscard]] std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// Uniform double in [0, 1) derived from a hash value.
+[[nodiscard]] double uniform01(std::uint64_t h);
+
+/// Convenience: uniform double in [0,1) from up to three stream ids.
+[[nodiscard]] double jitter01(std::uint64_t seed, std::uint64_t stream,
+                              std::uint64_t seq);
+
+}  // namespace parcoll::sim

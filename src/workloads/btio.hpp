@@ -1,0 +1,43 @@
+// NAS BT-IO (full mode): diagonal multi-partitioned 3-D output (paper §5.3).
+//
+// The BT solution array holds 5 doubles per point of an N^3 grid. With P a
+// perfect square, sqrt(P) x sqrt(P) processors each own sqrt(P) cells that
+// shift diagonally through the cube — so every process's file segments
+// spread across the whole array. This is the paper's pattern (c): no direct
+// FA split exists and ParColl must switch to the intermediate file view.
+// Full-mode BT-IO appends one solution dump per time step using collective
+// MPI-IO writes.
+#pragma once
+
+#include <cstdint>
+
+#include "dtype/datatype.hpp"
+#include "workloads/runner.hpp"
+
+namespace parcoll::workloads {
+
+struct BtIOConfig {
+  int grid = 162;  // class C grid; class A = 64, class B = 102
+  int nsteps = 5;  // class runs do 40; benches scale this down
+  std::uint64_t elem_bytes = 40;  // 5 doubles per grid point
+
+  [[nodiscard]] std::uint64_t step_bytes() const {
+    const auto n = static_cast<std::uint64_t>(grid);
+    return n * n * n * elem_bytes;
+  }
+  /// Segments owned by `rank` (byte displacements within one step's dump).
+  [[nodiscard]] dtype::Datatype filetype(int rank, int nranks) const;
+  [[nodiscard]] std::uint64_t rank_bytes(int rank, int nranks) const;
+};
+
+RunResult run_btio(const BtIOConfig& config, int nranks, const RunSpec& spec,
+                   bool write);
+
+/// BT-IO "epio" mode: each process appends its cells contiguously to its
+/// own private file. No shared-file coordination at all — the classic
+/// upper-bound comparison for collective shared-file output (the solution
+/// must be reassembled offline, which is why full mode exists).
+RunResult run_btio_epio(const BtIOConfig& config, int nranks,
+                        const RunSpec& spec);
+
+}  // namespace parcoll::workloads

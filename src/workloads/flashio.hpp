@@ -1,0 +1,83 @@
+// Flash I/O: checkpoint output of the FLASH astrophysics code (paper §5.4).
+//
+// Each process holds `nblocks` AMR blocks of nxb^3 double-precision zones,
+// stored in memory with nguard guard cells on every side, for each of
+// `nvars` variables. The checkpoint writes one dataset per variable; within
+// a dataset, blocks are laid out by global block id. In the AMR ordering
+// the processes' blocks interleave (block b of process p sits at dataset
+// slot b*P + p), so each process contributes `nblocks` block-sized chunks
+// per variable — far larger pieces and far fewer of them than Tile-IO or
+// BT-IO produce, which is why the paper sees a smaller (but still real)
+// ParColl gain here, and why writing the checkpoint without collective I/O
+// collapses (interleaved un-aggregated writes thrash the OST extent locks).
+//
+// The paper's scale: 32^3 blocks, 80 blocks/process, 24 variables — a
+// 60.8 GB checkpoint at 128 processes and 486 GB at 1024.
+#pragma once
+
+#include <cstdint>
+
+#include "dtype/datatype.hpp"
+#include "workloads/runner.hpp"
+
+namespace parcoll::workloads {
+
+struct FlashConfig {
+  int nxb = 32;     // interior zones per side
+  int nguard = 4;   // guard cells per side
+  int nblocks = 80; // blocks per process
+  int nvars = 24;   // unknowns written to the checkpoint
+  /// Dataset block order: true = AMR interleaving (block b of process p at
+  /// slot b*P + p); false = process-contiguous (slot p*nblocks + b).
+  bool interleaved_blocks = true;
+  /// Bytes per zone: 8 (double) for checkpoints, 4 (float) for plotfiles.
+  std::uint64_t zone_size = 8;
+  /// Corner plotfiles interpolate to cell corners: (nxb+1)^3 values/block.
+  bool corner = false;
+  /// Plotfile data is staged into a dense buffer first (no guard cells).
+  bool dense_memory = false;
+
+  /// The paper's three Flash I/O output files (§5.4).
+  static FlashConfig checkpoint() { return FlashConfig{}; }
+  static FlashConfig plotfile_centered();
+  static FlashConfig plotfile_corner();
+
+  [[nodiscard]] std::uint64_t zone_bytes() const { return zone_size; }
+  [[nodiscard]] int block_side() const { return corner ? nxb + 1 : nxb; }
+  [[nodiscard]] std::uint64_t block_bytes() const {
+    const auto n = static_cast<std::uint64_t>(block_side());
+    return n * n * n * zone_bytes();
+  }
+  /// Bytes one process contributes to one variable's dataset.
+  [[nodiscard]] std::uint64_t rank_var_bytes() const {
+    return static_cast<std::uint64_t>(nblocks) * block_bytes();
+  }
+  [[nodiscard]] std::uint64_t checkpoint_bytes(int nranks) const {
+    return static_cast<std::uint64_t>(nvars) *
+           static_cast<std::uint64_t>(nranks) * rank_var_bytes();
+  }
+  /// In-memory layout of one block: the nxb^3 interior of a guarded
+  /// (nxb + 2*nguard)^3 array. Repeating it `nblocks` times walks the
+  /// process's block list.
+  [[nodiscard]] dtype::Datatype block_memtype() const;
+
+  /// One variable's dataset layout for `rank`: its nblocks block slots.
+  /// The extent is the whole dataset, so var v is reached by offsetting
+  /// v * rank_var_bytes / 8 etypes into the view.
+  [[nodiscard]] dtype::Datatype filetype(int rank, int nranks) const;
+};
+
+/// Write (or read back) the checkpoint: nvars collective calls.
+RunResult run_flashio(const FlashConfig& config, int nranks,
+                      const RunSpec& spec, bool write);
+
+/// The checkpoint through the h5lite container, structured the way the
+/// real FLASH benchmark writes its HDF5 file: one [nblocks_total, nxb,
+/// nxb, nxb] dataset per variable, plus the small per-block metadata
+/// datasets (refinement level, node type, coordinates, bounding boxes,
+/// block sizes) and file attributes — the HDF5 bookkeeping the raw runner
+/// omits. Write-only (the measured phase of Fig. 11).
+RunResult run_flashio_h5(const FlashConfig& config, int nranks,
+                         const RunSpec& spec);
+
+}  // namespace parcoll::workloads

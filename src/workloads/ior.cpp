@@ -1,0 +1,138 @@
+#include "workloads/ior.hpp"
+
+#include <stdexcept>
+
+#include "core/parcoll.hpp"
+#include "mpi/collectives.hpp"
+#include "mpiio/file.hpp"
+#include "mpiio/independent.hpp"
+#include "mpiio/sieve.hpp"
+#include "sim/random.hpp"
+#include "workloads/pattern.hpp"
+
+namespace parcoll::workloads {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x10A;
+}
+
+std::vector<std::uint64_t> IorConfig::transfer_order(int rank) const {
+  std::vector<std::uint64_t> order(transfers());
+  for (std::uint64_t t = 0; t < order.size(); ++t) order[t] = t;
+  if (random_offsets) {
+    // Deterministic Fisher-Yates from the hash stream.
+    for (std::uint64_t i = order.size(); i > 1; --i) {
+      const std::uint64_t j =
+          sim::hash_combine(sim::hash_combine(order_seed,
+                                              static_cast<std::uint64_t>(rank)),
+                            i) %
+          i;
+      std::swap(order[i - 1], order[j]);
+    }
+  }
+  return order;
+}
+
+RunResult run_ior(const IorConfig& config, int nranks, const RunSpec& spec,
+                  bool write) {
+  if (config.xfer_size == 0 || config.block_size % config.xfer_size != 0) {
+    throw std::invalid_argument("IorConfig: xfer_size must divide block_size");
+  }
+  mpi::World world(spec.model(nranks), spec.byte_true);
+  if (spec.trace) {
+    world.enable_tracing();
+  }
+  const mpiio::Hints hints = spec.hints();
+  PhaseClock clock;
+  mpiio::FileStats final_stats;
+  bool verified = true;
+
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "ior.dat", hints);
+    // Default (contiguous byte) view; offsets are absolute bytes.
+    const dtype::Datatype memtype = dtype::Datatype::bytes(config.xfer_size);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(self.rank()) * config.block_size;
+
+    std::vector<std::byte> buffer;
+    if (spec.byte_true) {
+      buffer.resize(config.xfer_size);
+      if (!write) {
+        // Pre-populate my block so the measured read returns the pattern.
+        for (std::uint64_t t = 0; t < config.transfers(); ++t) {
+          const fs::Extent extent{base + t * config.xfer_size,
+                                  config.xfer_size};
+          fill_stream(buffer.data(), std::span(&extent, 1), kSalt);
+          file.write_at(extent.offset, buffer.data(), 1, memtype);
+        }
+      }
+    }
+
+    // IOR -C: read the block of a shifted task instead of our own.
+    const std::uint64_t access_base =
+        write ? base
+              : static_cast<std::uint64_t>(
+                    (self.rank() + config.reorder_tasks) % self.size()) *
+                    config.block_size;
+    const auto order = config.transfer_order(self.rank());
+    mpi::barrier(self, file.comm());
+    clock.begin(self.now());
+    for (std::uint64_t t : order) {
+      const fs::Extent extent{access_base + t * config.xfer_size,
+                              config.xfer_size};
+      if (spec.byte_true && write) {
+        fill_stream(buffer.data(), std::span(&extent, 1), kSalt);
+      }
+      void* data = buffer.empty() ? nullptr : buffer.data();
+      switch (spec.impl) {
+        case Impl::PosixIndependent:
+          write ? mpiio::posix_write_at(file, extent.offset, data, 1, memtype)
+                : mpiio::posix_read_at(file, extent.offset, data, 1, memtype);
+          break;
+        case Impl::Sieving:
+          write ? mpiio::sieve_write_at(file, extent.offset, data, 1, memtype)
+                : mpiio::sieve_read_at(file, extent.offset, data, 1, memtype);
+          break;
+        case Impl::Independent:
+          write ? file.write_at(extent.offset, data, 1, memtype)
+                : file.read_at(extent.offset, data, 1, memtype);
+          break;
+        case Impl::Ext2ph:
+        case Impl::ParColl:
+          if (write) {
+            core::write_at_all(file, extent.offset, data, 1, memtype);
+          } else {
+            core::read_at_all(file, extent.offset, data, 1, memtype);
+          }
+          break;
+      }
+      if (spec.byte_true && !write) {
+        verified = verified &&
+                   check_stream(buffer.data(), std::span(&extent, 1), kSalt);
+      }
+    }
+    if (config.fsync_per_phase) {
+      file.sync();
+    }
+    mpi::barrier(self, file.comm());
+    clock.end(self.now());
+
+    if (spec.byte_true && write) {
+      auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
+      const fs::Extent mine{base, config.block_size};
+      verified = verified && store != nullptr &&
+                 verify_store(*store, file.fs_id(), std::span(&mine, 1), kSalt);
+    }
+    if (self.rank() == 0) {
+      final_stats = file.stats();
+    }
+    file.close();
+  });
+
+  RunResult result = collect(world, clock, config.file_bytes(nranks),
+                             final_stats);
+  result.verified = verified;
+  return result;
+}
+
+}  // namespace parcoll::workloads

@@ -1,0 +1,64 @@
+#include "workloads/runner.hpp"
+
+#include "fs/lustre.hpp"
+
+namespace parcoll::workloads {
+
+const char* to_string(Impl impl) {
+  switch (impl) {
+    case Impl::PosixIndependent:
+      return "posix-independent";
+    case Impl::Sieving:
+      return "sieving";
+    case Impl::Independent:
+      return "independent";
+    case Impl::Ext2ph:
+      return "ext2ph";
+    case Impl::ParColl:
+      return "parcoll";
+  }
+  return "?";
+}
+
+mpiio::Hints RunSpec::hints() const {
+  mpiio::Hints hints;
+  hints.cb_buffer_size = cb_buffer_size;
+  hints.cb_nodes = cb_nodes;
+  hints.cb_node_list = cb_node_list;
+  if (impl == Impl::ParColl) {
+    hints.parcoll_num_groups = parcoll_groups;
+  }
+  hints.parcoll_min_group_size = min_group_size;
+  hints.parcoll_view_switch = view_switch;
+  hints.parcoll_persistent_groups = persistent_groups;
+  return hints;
+}
+
+machine::MachineModel RunSpec::model(int nranks) const {
+  machine::MachineModel model = machine::MachineModel::jaguar(nranks, mapping);
+  if (tweak_model) {
+    tweak_model(model);
+  }
+  return model;
+}
+
+RunResult collect(const mpi::World& world, const PhaseClock& clock,
+                  std::uint64_t bytes, const mpiio::FileStats& stats) {
+  RunResult result;
+  result.elapsed = clock.elapsed();
+  result.bytes = bytes;
+  for (const mpi::TimeBreakdown& breakdown : world.rank_times()) {
+    result.sum += breakdown;
+  }
+  result.stats = stats;
+  auto& mutable_world = const_cast<mpi::World&>(world);
+  auto& fs = mutable_world.fs();
+  result.fs_rpcs = fs.total_rpcs();
+  result.fs_lock_switches = fs.total_lock_switches();
+  if (mutable_world.tracer() != nullptr) {
+    result.trace = std::make_shared<mpi::Tracer>(*mutable_world.tracer());
+  }
+  return result;
+}
+
+}  // namespace parcoll::workloads

@@ -1,0 +1,101 @@
+// Experiment runner: one place that turns (workload, implementation,
+// machine) into the numbers the paper's figures plot.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "machine/machine_model.hpp"
+#include "mpi/runtime.hpp"
+#include "mpi/timecat.hpp"
+#include "mpi/trace.hpp"
+#include "mpiio/hints.hpp"
+#include "mpiio/stats.hpp"
+
+namespace parcoll::workloads {
+
+/// Which I/O implementation a run exercises. The paper's series names:
+///   "Cray"          -> Ext2ph (plain extended two-phase, default hints)
+///   "ParColl-N"     -> ParColl with N subgroups
+///   "Cray w/o Coll" -> PosixIndependent
+enum class Impl {
+  PosixIndependent,  // one blocking call per contiguous extent
+  Sieving,           // ROMIO data-sieving independent I/O (locked RMW)
+  Independent,       // batched independent I/O (pipelined RPCs)
+  Ext2ph,            // collective, plain extended two-phase
+  ParColl,           // collective, partitioned (needs parcoll_groups)
+};
+
+[[nodiscard]] const char* to_string(Impl impl);
+
+struct RunSpec {
+  Impl impl = Impl::Ext2ph;
+  int parcoll_groups = 0;  // ParColl-N
+  int min_group_size = 8;  // paper: "a least group size of 8"
+  bool view_switch = true;
+  bool persistent_groups = true;
+  int cb_nodes = 0;  // 0 = all nodes
+  std::vector<int> cb_node_list;
+  std::uint64_t cb_buffer_size = 4ull << 20;
+  /// Move and verify real bytes (tests) or run phantom payloads (benches).
+  bool byte_true = false;
+  /// Record per-rank time intervals; the result carries the trace.
+  bool trace = false;
+  machine::Mapping mapping = machine::Mapping::Block;
+  /// Optional calibration tweak applied to the machine model before a run.
+  std::function<void(machine::MachineModel&)> tweak_model;
+
+  [[nodiscard]] mpiio::Hints hints() const;
+  [[nodiscard]] machine::MachineModel model(int nranks) const;
+};
+
+struct RunResult {
+  double elapsed = 0;        // virtual seconds of the measured I/O phase
+  std::uint64_t bytes = 0;   // total bytes moved by the measured phase
+  mpi::TimeBreakdown sum;    // per-category time, summed over ranks
+  mpiio::FileStats stats;    // the file's close-time summary
+  bool verified = false;     // byte-true runs: did the file audit pass
+  std::uint64_t fs_rpcs = 0;          // RPCs served across OSTs
+  std::uint64_t fs_lock_switches = 0; // DLM revocations across OSTs
+  std::shared_ptr<mpi::Tracer> trace; // set when RunSpec::trace was on
+
+  [[nodiscard]] double bandwidth() const {
+    return elapsed > 0 ? static_cast<double>(bytes) / elapsed : 0.0;
+  }
+  [[nodiscard]] double bandwidth_mib() const {
+    return bandwidth() / (1024.0 * 1024.0);
+  }
+  /// Share of summed rank time spent in synchronization (the paper's
+  /// collective-wall metric, Fig. 1/2/8).
+  [[nodiscard]] double sync_fraction() const {
+    const double total = sum.total();
+    return total > 0 ? sum[mpi::TimeCat::Sync] / total : 0.0;
+  }
+};
+
+/// Shared measured-phase bookkeeping: ranks call phase_begin after setup
+/// and phase_end after their last I/O; the runner reads the window.
+class PhaseClock {
+ public:
+  void begin(double now) {
+    if (!started_) {
+      t0_ = now;
+      started_ = true;
+    }
+  }
+  void end(double now) { t1_ = now > t1_ ? now : t1_; }
+  [[nodiscard]] double elapsed() const { return t1_ - t0_; }
+
+ private:
+  double t0_ = 0;
+  double t1_ = 0;
+  bool started_ = false;
+};
+
+/// Collect the per-rank breakdowns of a finished world into a RunResult.
+RunResult collect(const mpi::World& world, const PhaseClock& clock,
+                  std::uint64_t bytes, const mpiio::FileStats& stats);
+
+}  // namespace parcoll::workloads

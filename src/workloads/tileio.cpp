@@ -1,0 +1,154 @@
+#include "workloads/tileio.hpp"
+
+#include <stdexcept>
+
+#include "core/parcoll.hpp"
+#include "mpi/collectives.hpp"
+#include "mpiio/file.hpp"
+#include "mpiio/independent.hpp"
+#include "mpiio/sieve.hpp"
+#include "workloads/pattern.hpp"
+
+namespace parcoll::workloads {
+
+namespace {
+constexpr std::uint64_t kSalt = 0x711E;
+}
+
+TileIOConfig TileIOConfig::paper(int nranks) {
+  TileIOConfig config;
+  config.tiles_x = nranks >= 8 ? 8 : nranks;
+  return config;
+}
+
+dtype::Datatype TileIOConfig::filetype(int rank, int nranks) const {
+  if (tiles_x <= 0 || nranks % tiles_x != 0) {
+    throw std::invalid_argument("TileIOConfig: tiles_x must divide nranks");
+  }
+  const int ty = rank / tiles_x;
+  const int tx = rank % tiles_x;
+  const std::int64_t rows = static_cast<std::int64_t>(tiles_y(nranks)) *
+                            static_cast<std::int64_t>(tile_h);
+  const std::int64_t cols = static_cast<std::int64_t>(tiles_x) *
+                            static_cast<std::int64_t>(tile_w);
+  const std::int64_t sizes[2] = {rows, cols};
+  // Overlap extends the sub-block into the neighbours, clamped at edges.
+  std::int64_t y0 = static_cast<std::int64_t>(ty) *
+                        static_cast<std::int64_t>(tile_h) -
+                    static_cast<std::int64_t>(overlap_y);
+  std::int64_t x0 = static_cast<std::int64_t>(tx) *
+                        static_cast<std::int64_t>(tile_w) -
+                    static_cast<std::int64_t>(overlap_x);
+  std::int64_t y1 = static_cast<std::int64_t>(ty + 1) *
+                        static_cast<std::int64_t>(tile_h) +
+                    static_cast<std::int64_t>(overlap_y);
+  std::int64_t x1 = static_cast<std::int64_t>(tx + 1) *
+                        static_cast<std::int64_t>(tile_w) +
+                    static_cast<std::int64_t>(overlap_x);
+  y0 = std::max<std::int64_t>(y0, 0);
+  x0 = std::max<std::int64_t>(x0, 0);
+  y1 = std::min(y1, rows);
+  x1 = std::min(x1, cols);
+  const std::int64_t subsizes[2] = {y1 - y0, x1 - x0};
+  const std::int64_t starts[2] = {y0, x0};
+  return dtype::Datatype::subarray(sizes, subsizes, starts,
+                                   dtype::Datatype::bytes(elem_size));
+}
+
+std::uint64_t TileIOConfig::rank_bytes_overlapped(int rank, int nranks) const {
+  return filetype(rank, nranks).size();
+}
+
+RunResult run_tileio(const TileIOConfig& config, int nranks,
+                     const RunSpec& spec, bool write) {
+  mpi::World world(spec.model(nranks), spec.byte_true);
+  if (spec.trace) {
+    world.enable_tracing();
+  }
+  const mpiio::Hints hints = spec.hints();
+  PhaseClock clock;
+  mpiio::FileStats final_stats;
+  bool verified = true;
+
+  if (write && (config.overlap_x > 0 || config.overlap_y > 0)) {
+    throw std::invalid_argument(
+        "run_tileio: overlapped tiles are read-only (overlapping concurrent "
+        "writes are ill-defined)");
+  }
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "tileio.dat", hints);
+    file.set_view(0, config.elem_size, config.filetype(self.rank(), nranks));
+    const dtype::Datatype memtype =
+        dtype::Datatype::bytes(config.rank_bytes_overlapped(self.rank(),
+                                                            nranks));
+
+    const std::uint64_t my_bytes = memtype.size();
+    std::vector<std::byte> buffer;
+    std::vector<fs::Extent> extents;
+    if (spec.byte_true) {
+      extents = file.view().map(0, my_bytes);
+      buffer.resize(my_bytes);
+      if (write) {
+        fill_buffer_for_extents(buffer.data(), memtype, 1, extents, kSalt);
+      } else {
+        // Pre-populate the file (outside the measured phase) so the read
+        // has real bytes to fetch.
+        fill_buffer_for_extents(buffer.data(), memtype, 1, extents, kSalt);
+        file.write_at(0, buffer.data(), 1, memtype);
+        std::fill(buffer.begin(), buffer.end(), std::byte{0});
+      }
+    }
+    const void* out_data = buffer.empty() ? nullptr : buffer.data();
+    void* in_data = buffer.empty() ? nullptr : buffer.data();
+
+    mpi::barrier(self, file.comm());
+    clock.begin(self.now());
+    switch (spec.impl) {
+      case Impl::PosixIndependent:
+        write ? mpiio::posix_write_at(file, 0, out_data, 1, memtype)
+              : mpiio::posix_read_at(file, 0, in_data, 1, memtype);
+        break;
+      case Impl::Sieving:
+        write ? mpiio::sieve_write_at(file, 0, out_data, 1, memtype)
+              : mpiio::sieve_read_at(file, 0, in_data, 1, memtype);
+        break;
+      case Impl::Independent:
+        write ? file.write_at(0, out_data, 1, memtype)
+              : file.read_at(0, in_data, 1, memtype);
+        break;
+      case Impl::Ext2ph:
+      case Impl::ParColl:
+        if (write) {
+          core::write_at_all(file, 0, out_data, 1, memtype);
+        } else {
+          core::read_at_all(file, 0, in_data, 1, memtype);
+        }
+        break;
+    }
+    mpi::barrier(self, file.comm());
+    clock.end(self.now());
+
+    if (spec.byte_true) {
+      if (write) {
+        auto* store =
+            dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
+        verified = verified && store != nullptr &&
+                   verify_store(*store, file.fs_id(), extents, kSalt);
+      } else {
+        verified = verified && check_buffer_for_extents(buffer.data(), memtype,
+                                                        1, extents, kSalt);
+      }
+    }
+    if (self.rank() == 0) {
+      final_stats = file.stats();
+    }
+    file.close();
+  });
+
+  RunResult result = collect(world, clock,
+                             config.file_bytes(nranks), final_stats);
+  result.verified = verified;
+  return result;
+}
+
+}  // namespace parcoll::workloads

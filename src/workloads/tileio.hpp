@@ -1,0 +1,55 @@
+// MPI-Tile-IO: tiled access to a 2-D dense dataset (paper §5.2).
+//
+// Each process renders one tile of tile_w x tile_h elements; tiles form a
+// tiles_x x tiles_y grid over the global array, accessed through a subarray
+// file view in a single collective call. The paper's parameters: 1024 x 768
+// tiles of 64-byte elements, giving 48 MB per process.
+//
+// FA structure: a tile row is a contiguous file region, so clean split
+// points exist between tile rows (pattern b); asking for more subgroups
+// than tile rows triggers the intermediate-view switch.
+#pragma once
+
+#include <cstdint>
+
+#include "dtype/datatype.hpp"
+#include "workloads/runner.hpp"
+
+namespace parcoll::workloads {
+
+struct TileIOConfig {
+  int tiles_x = 0;  // grid width; height = nranks / tiles_x
+  std::uint64_t tile_w = 1024;
+  std::uint64_t tile_h = 768;
+  std::uint64_t elem_size = 64;
+  /// mpi-tile-io's overlap option: each tile's read region extends this
+  /// many elements into its neighbours (halo exchange via the file).
+  /// Overlapping regions make concurrent *writes* ill-defined, so the
+  /// overlap applies to reads; run_tileio rejects overlapped writes.
+  std::uint64_t overlap_x = 0;
+  std::uint64_t overlap_y = 0;
+
+  /// The paper-style grid for `nranks`: 8 tiles wide (so tile rows — the
+  /// clean FA boundaries — are plentiful), nranks/8 tall.
+  static TileIOConfig paper(int nranks);
+
+  [[nodiscard]] int tiles_y(int nranks) const { return nranks / tiles_x; }
+  [[nodiscard]] std::uint64_t rank_bytes() const {
+    return tile_w * tile_h * elem_size;
+  }
+  /// This rank's (possibly overlapped, edge-clamped) data bytes.
+  [[nodiscard]] std::uint64_t rank_bytes_overlapped(int rank,
+                                                    int nranks) const;
+  [[nodiscard]] std::uint64_t file_bytes(int nranks) const {
+    return rank_bytes() * static_cast<std::uint64_t>(nranks);
+  }
+  /// The rank's tile as a subarray filetype over the global array.
+  [[nodiscard]] dtype::Datatype filetype(int rank, int nranks) const;
+};
+
+/// Run one collective tile write (write=true) or read. Returns bandwidth
+/// and breakdown of the measured phase.
+RunResult run_tileio(const TileIOConfig& config, int nranks,
+                     const RunSpec& spec, bool write);
+
+}  // namespace parcoll::workloads

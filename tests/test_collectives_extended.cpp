@@ -1,0 +1,165 @@
+// The extended collective set: scatter(v), gather, reduce, scan,
+// alltoallv, sendrecv — data semantics and synchronization behaviour.
+#include <gtest/gtest.h>
+
+#include "mpi/collectives.hpp"
+#include "mpi/runtime.hpp"
+
+namespace parcoll::mpi {
+namespace {
+
+World make_world(int nranks) {
+  return World(machine::MachineModel::jaguar(nranks));
+}
+
+TEST(CollectivesExt, ScatterDistributesRootValues) {
+  World world = make_world(4);
+  std::vector<int> got(4, -1);
+  world.run([&](Rank& self) {
+    std::vector<int> values;
+    if (self.rank() == 1) values = {10, 11, 12, 13};
+    got[self.rank()] = scatter(self, self.comm_world(), 1, values);
+  });
+  EXPECT_EQ(got, (std::vector<int>{10, 11, 12, 13}));
+}
+
+TEST(CollectivesExt, ScatterValidatesRootCount) {
+  World world = make_world(2);
+  EXPECT_THROW(world.run([&](Rank& self) {
+                 std::vector<int> values{1};  // too short at root
+                 scatter(self, self.comm_world(), 0,
+                         self.rank() == 0 ? values : std::vector<int>{});
+               }),
+               std::logic_error);
+}
+
+TEST(CollectivesExt, ScattervVariableLengths) {
+  World world = make_world(3);
+  std::vector<std::vector<int>> got(3);
+  world.run([&](Rank& self) {
+    std::vector<std::vector<int>> rows;
+    if (self.rank() == 0) {
+      rows = {{}, {5}, {6, 7, 8}};
+    }
+    got[self.rank()] = scatterv(self, self.comm_world(), 0, rows);
+  });
+  EXPECT_TRUE(got[0].empty());
+  EXPECT_EQ(got[1], (std::vector<int>{5}));
+  EXPECT_EQ(got[2], (std::vector<int>{6, 7, 8}));
+}
+
+TEST(CollectivesExt, GatherOnlyRootReceives) {
+  World world = make_world(4);
+  std::vector<std::size_t> sizes(4, 99);
+  std::vector<int> at_root;
+  world.run([&](Rank& self) {
+    const auto gathered = gather(self, self.comm_world(), 2, self.rank() * 3);
+    sizes[self.rank()] = gathered.size();
+    if (self.rank() == 2) at_root = gathered;
+  });
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{0, 0, 4, 0}));
+  EXPECT_EQ(at_root, (std::vector<int>{0, 3, 6, 9}));
+}
+
+TEST(CollectivesExt, ReduceAtRoot) {
+  World world = make_world(5);
+  std::vector<long> results(5, -1);
+  world.run([&](Rank& self) {
+    results[self.rank()] = reduce(self, self.comm_world(), 0,
+                                  static_cast<long>(self.rank() + 1),
+                                  [](long a, long b) { return a * b; });
+  });
+  EXPECT_EQ(results[0], 120);  // 5!
+  EXPECT_EQ(results[3], 0);    // non-roots get T{}
+}
+
+TEST(CollectivesExt, InclusiveScan) {
+  World world = make_world(4);
+  std::vector<int> results(4);
+  world.run([&](Rank& self) {
+    results[self.rank()] = scan(self, self.comm_world(), self.rank() + 1,
+                                [](int a, int b) { return a + b; });
+  });
+  EXPECT_EQ(results, (std::vector<int>{1, 3, 6, 10}));
+}
+
+TEST(CollectivesExt, AlltoallvExchangesRaggedRows) {
+  World world = make_world(3);
+  std::vector<std::vector<std::vector<int>>> results(3);
+  world.run([&](Rank& self) {
+    // Rank r sends j copies of (r*10 + j) to rank j.
+    std::vector<std::vector<int>> send(3);
+    for (int j = 0; j < 3; ++j) {
+      send[j].assign(static_cast<std::size_t>(j), self.rank() * 10 + j);
+    }
+    results[self.rank()] = alltoallv(self, self.comm_world(), send);
+  });
+  for (int r = 0; r < 3; ++r) {
+    for (int j = 0; j < 3; ++j) {
+      // What j sent to r: r copies of (j*10 + r).
+      EXPECT_EQ(results[r][j].size(), static_cast<std::size_t>(r));
+      for (int value : results[r][j]) {
+        EXPECT_EQ(value, j * 10 + r);
+      }
+    }
+  }
+}
+
+TEST(CollectivesExt, SendrecvRingShiftsWithoutDeadlock) {
+  constexpr int kRanks = 8;
+  World world = make_world(kRanks);
+  std::vector<int> got(kRanks, -1);
+  world.run([&](Rank& self) {
+    const int to = (self.rank() + 1) % kRanks;
+    const int from = (self.rank() + kRanks - 1) % kRanks;
+    const int payload = self.rank() * 100;
+    int incoming = -1;
+    const auto n = sendrecv(self, self.comm_world(), to, 5, &payload,
+                            sizeof(payload), from, 5, &incoming,
+                            sizeof(incoming));
+    EXPECT_EQ(n, sizeof(int));
+    got[self.rank()] = incoming;
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(got[r], ((r + kRanks - 1) % kRanks) * 100);
+  }
+}
+
+TEST(CollectivesExt, CollectivesComposeAcrossSubcommunicators) {
+  World world = make_world(8);
+  std::vector<int> results(8);
+  world.run([&](Rank& self) {
+    const Comm half =
+        comm_split(self, self.comm_world(), self.rank() % 2, self.rank());
+    // Scatter within the half, then reduce the results globally.
+    std::vector<int> values;
+    if (half.local_rank(self.rank()) == 0) {
+      values = {1, 2, 3, 4};
+    }
+    const int mine = scatter(self, half, 0, values);
+    results[self.rank()] =
+        allreduce_sum(self, self.comm_world(), mine);
+  });
+  // Both halves scatter {1,2,3,4}: global sum = 2 * 10.
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(results[r], 20);
+  }
+}
+
+TEST(CollectivesExt, CommDupIsolatesTraffic) {
+  World world = make_world(4);
+  world.run([&](Rank& self) {
+    const Comm dup = comm_dup(self, self.comm_world());
+    EXPECT_EQ(dup.size(), 4);
+    EXPECT_EQ(dup.local_rank(self.rank()), self.rank());
+    EXPECT_NE(dup.context_id(), self.comm_world().context_id());
+    // Collectives on the two communicators interleave freely.
+    const auto a = allgather(self, dup, self.rank());
+    const auto b = allgather(self, self.comm_world(), self.rank() * 2);
+    EXPECT_EQ(a[2], 2);
+    EXPECT_EQ(b[2], 4);
+  });
+}
+
+}  // namespace
+}  // namespace parcoll::mpi

@@ -1,0 +1,252 @@
+// darray datatypes (HPF-style distributions) and the individual file
+// pointer API (seek/read/write/sync).
+#include <gtest/gtest.h>
+
+#include "dtype/datatype.hpp"
+#include "mpi/collectives.hpp"
+#include "core/parcoll.hpp"
+#include "mpiio/file.hpp"
+#include "workloads/pattern.hpp"
+
+namespace parcoll {
+namespace {
+
+using dtype::Datatype;
+using Dist = Datatype::Distribution;
+
+TEST(Darray, BlockDistribution1D) {
+  // 12 elements over 3 procs, block: rank r owns [4r, 4r+4).
+  const std::int64_t sizes[] = {12};
+  const Dist dists[] = {Dist::Block};
+  const std::int64_t dargs[] = {0};
+  const std::int64_t psizes[] = {3};
+  for (int r = 0; r < 3; ++r) {
+    const auto type =
+        Datatype::darray(r, sizes, dists, dargs, psizes, Datatype::bytes(4));
+    ASSERT_EQ(type.segments().size(), 1u);
+    EXPECT_EQ(type.segments()[0],
+              (dtype::Segment{static_cast<std::int64_t>(r) * 16, 16}));
+    EXPECT_EQ(type.extent(), 48);
+  }
+}
+
+TEST(Darray, CyclicDistribution1D) {
+  // 8 elements over 2 procs, cyclic(1): rank 0 owns evens.
+  const std::int64_t sizes[] = {8};
+  const Dist dists[] = {Dist::Cyclic};
+  const std::int64_t dargs[] = {0};
+  const std::int64_t psizes[] = {2};
+  const auto type =
+      Datatype::darray(0, sizes, dists, dargs, psizes, Datatype::bytes(1));
+  ASSERT_EQ(type.segments().size(), 4u);
+  EXPECT_EQ(type.segments()[0], (dtype::Segment{0, 1}));
+  EXPECT_EQ(type.segments()[1], (dtype::Segment{2, 1}));
+  EXPECT_EQ(type.size(), 4u);
+}
+
+TEST(Darray, BlockCyclicWithDarg) {
+  // 12 elements over 2 procs, cyclic(3): rank 1 owns [3,6) and [9,12).
+  const std::int64_t sizes[] = {12};
+  const Dist dists[] = {Dist::Cyclic};
+  const std::int64_t dargs[] = {3};
+  const std::int64_t psizes[] = {2};
+  const auto type =
+      Datatype::darray(1, sizes, dists, dargs, psizes, Datatype::bytes(2));
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[0], (dtype::Segment{6, 6}));
+  EXPECT_EQ(type.segments()[1], (dtype::Segment{18, 6}));
+}
+
+TEST(Darray, TwoDimensionalBlockBlock) {
+  // 4x4 over a 2x2 grid: rank 3 (coords 1,1) owns the lower-right 2x2.
+  const std::int64_t sizes[] = {4, 4};
+  const Dist dists[] = {Dist::Block, Dist::Block};
+  const std::int64_t dargs[] = {0, 0};
+  const std::int64_t psizes[] = {2, 2};
+  const auto type =
+      Datatype::darray(3, sizes, dists, dargs, psizes, Datatype::bytes(1));
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[0], (dtype::Segment{2 * 4 + 2, 2}));
+  EXPECT_EQ(type.segments()[1], (dtype::Segment{3 * 4 + 2, 2}));
+}
+
+TEST(Darray, NoneDistributionKeepsWholeDimension) {
+  const std::int64_t sizes[] = {2, 6};
+  const Dist dists[] = {Dist::Block, Dist::None};
+  const std::int64_t dargs[] = {0, 0};
+  const std::int64_t psizes[] = {2, 1};
+  const auto type =
+      Datatype::darray(1, sizes, dists, dargs, psizes, Datatype::bytes(1));
+  ASSERT_EQ(type.segments().size(), 1u);  // full second row
+  EXPECT_EQ(type.segments()[0], (dtype::Segment{6, 6}));
+}
+
+TEST(Darray, RanksTileTheArray) {
+  // Every element owned exactly once across the grid (2-D block/cyclic mix).
+  const std::int64_t sizes[] = {6, 8};
+  const Dist dists[] = {Dist::Cyclic, Dist::Block};
+  const std::int64_t dargs[] = {0, 0};
+  const std::int64_t psizes[] = {3, 2};
+  std::vector<int> owner(48, -1);
+  for (int r = 0; r < 6; ++r) {
+    const auto type =
+        Datatype::darray(r, sizes, dists, dargs, psizes, Datatype::bytes(1));
+    for (const auto& seg : type.segments()) {
+      for (std::uint64_t i = 0; i < seg.length; ++i) {
+        const auto pos = static_cast<std::size_t>(seg.disp) + i;
+        EXPECT_EQ(owner[pos], -1);
+        owner[pos] = r;
+      }
+    }
+  }
+  for (int o : owner) EXPECT_NE(o, -1);
+}
+
+TEST(Darray, Validation) {
+  const std::int64_t sizes[] = {4};
+  const Dist dists[] = {Dist::None};
+  const std::int64_t dargs[] = {0};
+  const std::int64_t psizes[] = {2};  // None requires grid extent 1
+  EXPECT_THROW(
+      Datatype::darray(0, sizes, dists, dargs, psizes, Datatype::bytes(1)),
+      std::invalid_argument);
+  const std::int64_t ok_psizes[] = {1};
+  EXPECT_THROW(
+      Datatype::darray(5, sizes, dists, dargs, ok_psizes, Datatype::bytes(1)),
+      std::invalid_argument);  // rank outside grid
+}
+
+TEST(Darray, UsableAsFileView) {
+  // End to end: ranks write their darray pieces collectively; audit bytes.
+  mpi::World world(machine::MachineModel::jaguar(4));
+  bool ok = true;
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "darray.dat");
+    const std::int64_t sizes[] = {8, 8};
+    const Dist dists[] = {Dist::Block, Dist::Cyclic};
+    const std::int64_t dargs[] = {0, 2};
+    const std::int64_t psizes[] = {2, 2};
+    const auto type = Datatype::darray(self.rank(), sizes, dists, dargs,
+                                       psizes, Datatype::bytes(8));
+    file.set_view(0, 8, type);
+    const std::uint64_t bytes = type.size();
+    std::vector<std::byte> data(bytes);
+    const auto extents = file.view().map(0, bytes);
+    workloads::fill_buffer_for_extents(data.data(), Datatype::bytes(bytes), 1,
+                                       extents, 17);
+    core::write_at_all(file, 0, data.data(), 1, Datatype::bytes(bytes));
+    mpi::barrier(self, self.comm_world());
+    auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
+    ok = ok && store &&
+         workloads::verify_store(*store, file.fs_id(), extents, 17);
+    file.close();
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(FilePointer, SeekSetCurAndPosition) {
+  mpi::World world(machine::MachineModel::jaguar(1));
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "fp.dat");
+    EXPECT_EQ(file.position(), 0u);
+    file.seek(100, mpiio::FileHandle::Whence::Set);
+    EXPECT_EQ(file.position(), 100u);
+    file.seek(-40, mpiio::FileHandle::Whence::Cur);
+    EXPECT_EQ(file.position(), 60u);
+    EXPECT_THROW(file.seek(-100, mpiio::FileHandle::Whence::Cur),
+                 std::invalid_argument);
+    file.close();
+  });
+}
+
+TEST(FilePointer, SequentialWritesAppendAndReadBack) {
+  mpi::World world(machine::MachineModel::jaguar(1));
+  bool ok = true;
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "fp2.dat");
+    const dtype::Datatype chunk = Datatype::bytes(64);
+    for (int i = 0; i < 4; ++i) {
+      std::vector<std::byte> data(64);
+      const fs::Extent extent{static_cast<std::uint64_t>(i) * 64, 64};
+      workloads::fill_stream(data.data(), std::span(&extent, 1), 8);
+      file.write(data.data(), 1, chunk);
+    }
+    EXPECT_EQ(file.position(), 256u);
+    file.seek(0, mpiio::FileHandle::Whence::Set);
+    std::vector<std::byte> back(256);
+    file.read(back.data(), 1, Datatype::bytes(256));
+    const fs::Extent whole{0, 256};
+    ok = workloads::check_stream(back.data(), std::span(&whole, 1), 8);
+    EXPECT_EQ(file.position(), 256u);
+    file.close();
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(FilePointer, SeekEndOnContiguousView) {
+  mpi::World world(machine::MachineModel::jaguar(1));
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "fp3.dat");
+    std::vector<std::byte> data(128);
+    file.write(data.data(), 1, Datatype::bytes(128));
+    file.seek(0, mpiio::FileHandle::Whence::End);
+    EXPECT_EQ(file.position(), 128u);
+    file.seek(-28, mpiio::FileHandle::Whence::End);
+    EXPECT_EQ(file.position(), 100u);
+    file.close();
+  });
+}
+
+TEST(FilePointer, SeekEndRejectedOnHoleyView) {
+  mpi::World world(machine::MachineModel::jaguar(1));
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "fp4.dat");
+    file.set_view(0, 8, Datatype::resized(Datatype::bytes(8), 0, 64));
+    EXPECT_THROW(file.seek(0, mpiio::FileHandle::Whence::End),
+                 std::logic_error);
+    file.close();
+  });
+}
+
+TEST(FilePointer, SetViewResetsPointerAndSyncCostsTime) {
+  mpi::World world(machine::MachineModel::jaguar(1));
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "fp5.dat");
+    file.seek(42, mpiio::FileHandle::Whence::Set);
+    file.set_view(0, 1, Datatype::bytes(1));
+    EXPECT_EQ(file.position(), 0u);
+    const double t0 = self.now();
+    file.sync();
+    EXPECT_GT(self.now(), t0);
+    file.close();
+  });
+}
+
+TEST(FilePointer, PointerCollectivesAdvance) {
+  mpi::World world(machine::MachineModel::jaguar(4));
+  bool ok = true;
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "fp6.dat");
+    // Rank-strided view; two successive collective writes walk the stream.
+    const Datatype slot = Datatype::resized(Datatype::bytes(32), 0, 128);
+    file.set_view(static_cast<std::uint64_t>(self.rank()) * 32, 32, slot);
+    const Datatype chunk = Datatype::bytes(64);  // two slots per call
+    const auto extents = file.view().map(0, 128);
+    std::vector<std::byte> data(128);
+    workloads::fill_buffer_for_extents(data.data(), Datatype::bytes(128), 1,
+                                       extents, 21);
+    core::write_all(file, data.data(), 1, chunk);
+    EXPECT_EQ(file.position(), 2u);  // 64 bytes = 2 etypes of 32
+    core::write_all(file, data.data() + 64, 1, chunk);
+    EXPECT_EQ(file.position(), 4u);
+    mpi::barrier(self, self.comm_world());
+    auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
+    ok = ok && store &&
+         workloads::verify_store(*store, file.fs_id(), extents, 21);
+    file.close();
+  });
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace parcoll

@@ -1,0 +1,210 @@
+// Derived datatypes: constructors, flattening, extent/size semantics.
+#include <gtest/gtest.h>
+
+#include "dtype/datatype.hpp"
+
+namespace parcoll::dtype {
+namespace {
+
+TEST(Datatype, BytesBasics) {
+  const Datatype type = Datatype::bytes(16);
+  EXPECT_EQ(type.size(), 16u);
+  EXPECT_EQ(type.extent(), 16);
+  ASSERT_EQ(type.segments().size(), 1u);
+  EXPECT_EQ(type.segments()[0], (Segment{0, 16}));
+}
+
+TEST(Datatype, EmptyType) {
+  const Datatype type;
+  EXPECT_EQ(type.size(), 0u);
+  EXPECT_EQ(type.extent(), 0);
+  EXPECT_TRUE(type.segments().empty());
+}
+
+TEST(Datatype, ContiguousCoalescesIntoOneSegment) {
+  const Datatype type = Datatype::contiguous(4, Datatype::bytes(8));
+  EXPECT_EQ(type.size(), 32u);
+  EXPECT_EQ(type.extent(), 32);
+  ASSERT_EQ(type.segments().size(), 1u);
+  EXPECT_EQ(type.segments()[0], (Segment{0, 32}));
+}
+
+TEST(Datatype, VectorWithGaps) {
+  // 3 blocks of 2 elements (4B each), stride 5 elements.
+  const Datatype type = Datatype::vec(3, 2, 5, Datatype::bytes(4));
+  EXPECT_EQ(type.size(), 24u);
+  ASSERT_EQ(type.segments().size(), 3u);
+  EXPECT_EQ(type.segments()[0], (Segment{0, 8}));
+  EXPECT_EQ(type.segments()[1], (Segment{20, 8}));
+  EXPECT_EQ(type.segments()[2], (Segment{40, 8}));
+  EXPECT_EQ(type.extent(), 48);  // last block ends at 40 + 8
+}
+
+TEST(Datatype, HvectorByteStride) {
+  const Datatype type = Datatype::hvector(2, 1, 100, Datatype::bytes(10));
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[1], (Segment{100, 10}));
+  EXPECT_EQ(type.extent(), 110);
+}
+
+TEST(Datatype, VectorNegativeStride) {
+  const Datatype type = Datatype::vec(2, 1, -3, Datatype::bytes(4));
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[0], (Segment{0, 4}));
+  EXPECT_EQ(type.segments()[1], (Segment{-12, 4}));
+  EXPECT_EQ(type.lb(), -12);
+  EXPECT_EQ(type.extent(), 16);
+  EXPECT_FALSE(type.monotone());
+}
+
+TEST(Datatype, IndexedElementDisplacements) {
+  const IndexedBlock blocks[] = {{0, 2}, {5, 1}, {9, 3}};
+  const Datatype type = Datatype::indexed(blocks, Datatype::bytes(4));
+  EXPECT_EQ(type.size(), 24u);
+  ASSERT_EQ(type.segments().size(), 3u);
+  EXPECT_EQ(type.segments()[1], (Segment{20, 4}));
+  EXPECT_EQ(type.segments()[2], (Segment{36, 12}));
+  EXPECT_TRUE(type.monotone());
+}
+
+TEST(Datatype, HindexedByteDisplacements) {
+  const IndexedBlock blocks[] = {{100, 1}, {0, 1}};
+  const Datatype type = Datatype::hindexed(blocks, Datatype::bytes(8));
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[0], (Segment{100, 8}));
+  EXPECT_EQ(type.segments()[1], (Segment{0, 8}));
+  EXPECT_FALSE(type.monotone());  // type-map order preserved
+  EXPECT_EQ(type.lb(), 0);
+  EXPECT_EQ(type.ub(), 108);
+}
+
+TEST(Datatype, StructCombinesHeterogeneousFields) {
+  const Datatype a = Datatype::bytes(4);
+  const Datatype b = Datatype::vec(2, 1, 2, Datatype::bytes(4));
+  const StructField fields[] = {{0, 1, &a}, {16, 2, &b}};
+  const Datatype type = Datatype::structured(fields);
+  EXPECT_EQ(type.size(), 4u + 2 * 8u);
+  EXPECT_EQ(type.segments().front(), (Segment{0, 4}));
+}
+
+TEST(Datatype, Subarray2DRowMajor) {
+  // 4x6 global, 2x3 sub at (1, 2), 1-byte elements.
+  const std::int64_t sizes[] = {4, 6};
+  const std::int64_t subsizes[] = {2, 3};
+  const std::int64_t starts[] = {1, 2};
+  const Datatype type =
+      Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(1));
+  EXPECT_EQ(type.size(), 6u);
+  EXPECT_EQ(type.extent(), 24);  // full global array
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[0], (Segment{8, 3}));   // row 1, cols 2..4
+  EXPECT_EQ(type.segments()[1], (Segment{14, 3}));  // row 2, cols 2..4
+  EXPECT_TRUE(type.monotone());
+}
+
+TEST(Datatype, Subarray3D) {
+  const std::int64_t sizes[] = {2, 3, 4};
+  const std::int64_t subsizes[] = {2, 2, 2};
+  const std::int64_t starts[] = {0, 1, 1};
+  const Datatype type =
+      Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(2));
+  EXPECT_EQ(type.size(), 16u);
+  EXPECT_EQ(type.extent(), 48);
+  EXPECT_EQ(type.segments().size(), 4u);  // 2 planes x 2 rows
+  EXPECT_EQ(type.segments()[0], (Segment{2 * (1 * 4 + 1), 4}));
+}
+
+TEST(Datatype, SubarrayFortranOrderMatchesReversedC) {
+  const std::int64_t sizes[] = {6, 4};
+  const std::int64_t subsizes[] = {3, 2};
+  const std::int64_t starts[] = {2, 1};
+  const Datatype fortran = Datatype::subarray(
+      sizes, subsizes, starts, Datatype::bytes(1), Datatype::Order::Fortran);
+  const std::int64_t rsizes[] = {4, 6};
+  const std::int64_t rsubsizes[] = {2, 3};
+  const std::int64_t rstarts[] = {1, 2};
+  const Datatype c =
+      Datatype::subarray(rsizes, rsubsizes, rstarts, Datatype::bytes(1));
+  EXPECT_EQ(fortran.segments(), c.segments());
+}
+
+TEST(Datatype, SubarrayFullArrayIsContiguous) {
+  const std::int64_t sizes[] = {3, 5};
+  const std::int64_t starts[] = {0, 0};
+  const Datatype type =
+      Datatype::subarray(sizes, sizes, starts, Datatype::bytes(4));
+  ASSERT_EQ(type.segments().size(), 1u);
+  EXPECT_EQ(type.segments()[0], (Segment{0, 60}));
+}
+
+TEST(Datatype, SubarrayEmptySubsizes) {
+  const std::int64_t sizes[] = {3, 5};
+  const std::int64_t subsizes[] = {0, 5};
+  const std::int64_t starts[] = {0, 0};
+  const Datatype type =
+      Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(4));
+  EXPECT_EQ(type.size(), 0u);
+  EXPECT_EQ(type.extent(), 60);
+}
+
+TEST(Datatype, SubarrayValidation) {
+  const std::int64_t sizes[] = {4};
+  const std::int64_t subsizes[] = {3};
+  const std::int64_t bad_starts[] = {2};  // 2 + 3 > 4
+  EXPECT_THROW(Datatype::subarray(sizes, subsizes, bad_starts,
+                                  Datatype::bytes(1)),
+               std::invalid_argument);
+  const std::int64_t starts[] = {0};
+  const std::int64_t mismatched[] = {1, 1};
+  EXPECT_THROW(
+      Datatype::subarray(sizes, std::span<const std::int64_t>(mismatched),
+                         starts, Datatype::bytes(1)),
+      std::invalid_argument);
+}
+
+TEST(Datatype, ResizedChangesExtentOnly) {
+  const Datatype base = Datatype::bytes(8);
+  const Datatype type = Datatype::resized(base, 0, 32);
+  EXPECT_EQ(type.size(), 8u);
+  EXPECT_EQ(type.extent(), 32);
+  EXPECT_EQ(type.segments(), base.segments());
+}
+
+TEST(Datatype, TiledSegmentsRepeatAtExtent) {
+  const Datatype type = Datatype::resized(Datatype::bytes(4), 0, 10);
+  const auto tiled = type.tiled_segments(3);
+  ASSERT_EQ(tiled.size(), 3u);
+  EXPECT_EQ(tiled[1], (Segment{10, 4}));
+  EXPECT_EQ(tiled[2], (Segment{20, 4}));
+}
+
+TEST(Datatype, TiledSegmentsCoalesceWhenDense) {
+  const Datatype type = Datatype::bytes(4);
+  const auto tiled = type.tiled_segments(5);
+  ASSERT_EQ(tiled.size(), 1u);
+  EXPECT_EQ(tiled[0], (Segment{0, 20}));
+}
+
+TEST(Datatype, FromSegmentsDirectConstruction) {
+  std::vector<Segment> segs{{0, 4}, {4, 4}, {100, 2}};
+  const Datatype type = Datatype::from_segments(std::move(segs), 0, 200);
+  EXPECT_EQ(type.size(), 10u);
+  EXPECT_EQ(type.extent(), 200);
+  ASSERT_EQ(type.segments().size(), 2u);  // first two coalesce
+}
+
+TEST(Datatype, NestedCompositionVectorOfSubarrays) {
+  const std::int64_t sizes[] = {2, 2};
+  const std::int64_t subsizes[] = {1, 2};
+  const std::int64_t starts[] = {0, 0};
+  const Datatype row =
+      Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(1));
+  const Datatype type = Datatype::contiguous(2, row);
+  EXPECT_EQ(type.size(), 4u);
+  ASSERT_EQ(type.segments().size(), 2u);
+  EXPECT_EQ(type.segments()[0], (Segment{0, 2}));
+  EXPECT_EQ(type.segments()[1], (Segment{4, 2}));
+}
+
+}  // namespace
+}  // namespace parcoll::dtype

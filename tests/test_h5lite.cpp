@@ -1,0 +1,184 @@
+// h5lite: the HDF5-like container — metadata round trips, dataset
+// allocation, collective dataset I/O through ParColl, attributes, and the
+// Flash-through-h5 runner.
+#include <gtest/gtest.h>
+
+#include "h5lite/h5lite.hpp"
+#include "mpi/collectives.hpp"
+#include "workloads/flashio.hpp"
+#include "workloads/pattern.hpp"
+
+namespace parcoll::h5 {
+namespace {
+
+using dtype::Datatype;
+
+TEST(H5Lite, CreateDatasetAllocatesSequentially) {
+  mpi::World world(machine::MachineModel::jaguar(2));
+  world.run([&](mpi::Rank& self) {
+    auto file = H5File::create(self, self.comm_world(), "h5a.h5");
+    const auto& a = file.create_dataset("a", {10, 10}, 8);
+    const auto& b = file.create_dataset("b", {100}, 4);
+    EXPECT_EQ(a.data_offset, H5File::kMetadataBytes);
+    EXPECT_EQ(a.bytes(), 800u);
+    EXPECT_EQ(b.data_offset, a.data_offset + 800);
+    EXPECT_TRUE(file.has_dataset("a"));
+    EXPECT_FALSE(file.has_dataset("c"));
+    EXPECT_THROW(static_cast<void>(file.dataset("c")), std::invalid_argument);
+    EXPECT_EQ(file.dataset_names().size(), 2u);
+    // Mismatched re-creation is rejected.
+    EXPECT_THROW(file.create_dataset("a", {10, 11}, 8),
+                 std::invalid_argument);
+    file.close();
+  });
+}
+
+TEST(H5Lite, DatasetWriteReadRoundTripThroughParColl) {
+  mpi::World world(machine::MachineModel::jaguar(8));
+  mpiio::Hints hints;
+  hints.parcoll_num_groups = 2;
+  hints.parcoll_min_group_size = 2;
+  bool ok = true;
+  world.run([&](mpi::Rank& self) {
+    auto file = H5File::create(self, self.comm_world(), "h5b.h5", hints);
+    // 8x32 doubles; rank r owns row r (subarray selection).
+    file.create_dataset("grid", {8, 32}, 8);
+    const std::int64_t sizes[] = {8, 32};
+    const std::int64_t subsizes[] = {1, 32};
+    const std::int64_t starts[] = {self.rank(), 0};
+    const Datatype selection =
+        Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(8));
+
+    std::vector<double> row(32);
+    for (int i = 0; i < 32; ++i) row[i] = self.rank() * 100.0 + i;
+    file.write_dataset("grid", selection, row.data(), 1,
+                       Datatype::bytes(256));
+    mpi::barrier(self, self.comm_world());
+
+    // Read a neighbour's row back.
+    const std::int64_t other_starts[] = {(self.rank() + 3) % 8, 0};
+    const Datatype other =
+        Datatype::subarray(sizes, subsizes, other_starts, Datatype::bytes(8));
+    std::vector<double> got(32);
+    file.read_dataset("grid", other, got.data(), 1, Datatype::bytes(256));
+    for (int i = 0; i < 32; ++i) {
+      if (got[i] != ((self.rank() + 3) % 8) * 100.0 + i) ok = false;
+    }
+    file.close();
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(H5Lite, SelectionEscapingDatasetThrows) {
+  mpi::World world(machine::MachineModel::jaguar(1));
+  world.run([&](mpi::Rank& self) {
+    auto file = H5File::create(self, self.comm_world(), "h5c.h5");
+    file.create_dataset("small", {4}, 8);
+    std::vector<dtype::Segment> segs{{0, 64}};  // 64 > 32 bytes
+    const Datatype bad = Datatype::from_segments(std::move(segs), 0, 64);
+    std::vector<std::byte> data(64);
+    EXPECT_THROW(file.write_dataset("small", bad, data.data(), 1,
+                                    Datatype::bytes(64)),
+                 std::invalid_argument);
+    file.close();
+  });
+}
+
+TEST(H5Lite, MetadataSurvivesReopen) {
+  mpi::World world(machine::MachineModel::jaguar(2));
+  bool ok = true;
+  world.run([&](mpi::Rank& self) {
+    {
+      auto file = H5File::create(self, self.comm_world(), "h5d.h5");
+      file.create_dataset("payload", {16}, 4);
+      file.write_attribute("creator", {std::byte{'p'}, std::byte{'c'}});
+      if (self.rank() == 0) {
+        std::vector<std::byte> data(32);
+        const fs::Extent where{file.dataset("payload").data_offset, 32};
+        workloads::fill_stream(data.data(), std::span(&where, 1), 61);
+        std::vector<dtype::Segment> segs{{0, 32}};
+        file.write_dataset("payload",
+                           Datatype::from_segments(std::move(segs), 0, 64),
+                           data.data(), 1, Datatype::bytes(32));
+      } else {
+        // Collective call: other ranks contribute nothing.
+        file.write_dataset("payload", Datatype(), nullptr, 0, Datatype());
+      }
+      file.close();
+    }
+    {
+      // Fresh world-shared metadata is rebuilt from disk on open... the
+      // shared object persists within one World, so force a re-decode by
+      // checking contents through a reopened handle.
+      auto file = H5File::open(self, self.comm_world(), "h5d.h5");
+      ok = ok && file.has_dataset("payload");
+      ok = ok && file.dataset("payload").elem_size == 4;
+      ok = ok && file.has_attribute("creator");
+      ok = ok && file.attribute("creator").size() == 2;
+      file.close();
+    }
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(H5Lite, EncodeDecodeRoundTrip) {
+  // Pure serialization check, independent of any world.
+  mpi::World world(machine::MachineModel::jaguar(1));
+  world.run([&](mpi::Rank& self) {
+    auto file = H5File::create(self, self.comm_world(), "h5e.h5");
+    file.create_dataset("alpha", {3, 4, 5}, 8);
+    file.create_dataset("beta", {7}, 2);
+    file.write_attribute("answer", {std::byte{42}});
+    file.close();
+
+    auto reopened = H5File::open(self, self.comm_world(), "h5e.h5");
+    EXPECT_EQ(reopened.dataset("alpha").dims,
+              (std::vector<std::uint64_t>{3, 4, 5}));
+    EXPECT_EQ(reopened.dataset("beta").data_offset,
+              H5File::kMetadataBytes + 3 * 4 * 5 * 8);
+    EXPECT_EQ(reopened.attribute("answer")[0], std::byte{42});
+    reopened.close();
+  });
+}
+
+TEST(H5Lite, FlashCheckpointThroughH5Verifies) {
+  workloads::FlashConfig config;
+  config.nxb = 4;
+  config.nguard = 1;
+  config.nblocks = 3;
+  config.nvars = 3;
+  workloads::RunSpec spec;
+  spec.impl = workloads::Impl::ParColl;
+  spec.parcoll_groups = 2;
+  spec.min_group_size = 2;
+  spec.byte_true = true;
+  spec.cb_buffer_size = 4096;
+  const auto result = workloads::run_flashio_h5(config, 8, spec);
+  EXPECT_TRUE(result.verified);
+  // The metadata datasets show up as collective writes too: 5 records +
+  // nvars variables.
+  EXPECT_EQ(result.stats.collective_writes,
+            5u + static_cast<unsigned>(config.nvars));
+}
+
+TEST(H5Lite, H5OverheadIsVisibleButSmall) {
+  // The HDF5 path costs more than the raw path (metadata flushes + small
+  // record datasets) but the bulk dominates.
+  workloads::FlashConfig config;
+  config.nvars = 4;
+  config.nblocks = 8;
+  config.nxb = 16;
+  workloads::RunSpec spec;
+  spec.impl = workloads::Impl::Ext2ph;
+  spec.byte_true = false;
+  const auto raw = workloads::run_flashio(config, 32, spec, true);
+  const auto h5 = workloads::run_flashio_h5(config, 32, spec);
+  // Same bulk data, plus metadata flushes and five small record datasets:
+  // comparable magnitude, not a blow-up.
+  EXPECT_GT(h5.elapsed, 0.7 * raw.elapsed);
+  EXPECT_LT(h5.elapsed, 2.5 * raw.elapsed);
+  EXPECT_GT(h5.stats.independent_writes, 0u);  // the metadata flushes
+}
+
+}  // namespace
+}  // namespace parcoll::h5

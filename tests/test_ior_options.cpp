@@ -1,0 +1,114 @@
+// IOR option fidelity: random transfer ordering (-z), fsync (-e), task
+// reordering on read (-C), and the cb_read hint.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/parcoll.hpp"
+#include "workloads/ior.hpp"
+
+namespace parcoll::workloads {
+namespace {
+
+RunSpec byte_true(Impl impl, int groups = 0) {
+  RunSpec spec;
+  spec.impl = impl;
+  spec.parcoll_groups = groups;
+  spec.min_group_size = 2;
+  spec.byte_true = true;
+  spec.cb_buffer_size = 4096;
+  return spec;
+}
+
+IorConfig small() {
+  IorConfig config;
+  config.block_size = 64 << 10;
+  config.xfer_size = 8 << 10;
+  return config;
+}
+
+TEST(IorOptions, TransferOrderIsAPermutation) {
+  IorConfig config = small();
+  config.random_offsets = true;
+  const auto order = config.transfer_order(3);
+  EXPECT_EQ(order.size(), config.transfers());
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t t = 0; t < sorted.size(); ++t) {
+    EXPECT_EQ(sorted[t], t);
+  }
+  // Deterministic per (seed, rank); different ranks differ.
+  EXPECT_EQ(order, config.transfer_order(3));
+  EXPECT_NE(order, config.transfer_order(4));
+  // Sequential when the option is off.
+  config.random_offsets = false;
+  const auto seq = config.transfer_order(0);
+  for (std::uint64_t t = 0; t < seq.size(); ++t) {
+    EXPECT_EQ(seq[t], t);
+  }
+}
+
+TEST(IorOptions, RandomOrderStillVerifies) {
+  IorConfig config = small();
+  config.random_offsets = true;
+  for (int groups : {0, 4}) {
+    const auto result = run_ior(
+        config, 8, byte_true(groups ? Impl::ParColl : Impl::Ext2ph, groups),
+        true);
+    EXPECT_TRUE(result.verified) << "groups=" << groups;
+  }
+}
+
+TEST(IorOptions, RandomOrderReadVerifies) {
+  IorConfig config = small();
+  config.random_offsets = true;
+  const auto result = run_ior(config, 8, byte_true(Impl::Ext2ph), false);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(IorOptions, ReorderedReadBackVerifies) {
+  IorConfig config = small();
+  config.reorder_tasks = 3;  // read the block written 3 tasks away
+  const auto result = run_ior(config, 8, byte_true(Impl::Ext2ph), false);
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(IorOptions, FsyncAddsTime) {
+  IorConfig config = small();
+  const auto plain = run_ior(config, 4, byte_true(Impl::Ext2ph), true);
+  config.fsync_per_phase = true;
+  const auto synced = run_ior(config, 4, byte_true(Impl::Ext2ph), true);
+  EXPECT_TRUE(synced.verified);
+  EXPECT_GT(synced.elapsed, plain.elapsed);
+}
+
+TEST(CbRead, DisableDegradesReadsOnly) {
+  mpi::World world(machine::MachineModel::jaguar(4));
+  mpiio::Hints hints;
+  hints.set("romio_cb_read", "disable");
+  EXPECT_FALSE(hints.cb_read_enabled);
+  EXPECT_TRUE(hints.cb_write_enabled);
+  std::uint64_t write_cycles = 0;
+  std::uint64_t read_cycles = 0;
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "cbr.dat", hints);
+    const auto slot = dtype::Datatype::resized(dtype::Datatype::bytes(64), 0,
+                                               256);
+    file.set_view(static_cast<std::uint64_t>(self.rank()) * 64, 64, slot);
+    std::vector<std::byte> data(8 * 64);
+    const auto w = core::write_at_all(file, 0, data.data(), 1,
+                                      dtype::Datatype::bytes(8 * 64));
+    const auto r = core::read_at_all(file, 0, data.data(), 1,
+                                     dtype::Datatype::bytes(8 * 64));
+    if (self.rank() == 0) {
+      write_cycles = w.cycles;
+      read_cycles = r.cycles;
+    }
+    file.close();
+  });
+  EXPECT_GT(write_cycles, 0u);  // write went through the collective engine
+  EXPECT_EQ(read_cycles, 0u);   // read was serviced locally (sieving)
+}
+
+}  // namespace
+}  // namespace parcoll::workloads

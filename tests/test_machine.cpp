@@ -1,0 +1,98 @@
+// Topology (block/cyclic rank->node mapping) and the machine model defaults.
+#include <gtest/gtest.h>
+
+#include "machine/machine_model.hpp"
+#include "sim/random.hpp"
+
+namespace parcoll::machine {
+namespace {
+
+TEST(Topology, BlockMappingMatchesPaperFig5) {
+  // Fig. 5 block column: N0(P0,P1) N1(P2,P3) N2(P4,P5) N3(P6,P7).
+  const Topology topo(8, 2, Mapping::Block);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(1), 0);
+  EXPECT_EQ(topo.node_of(2), 1);
+  EXPECT_EQ(topo.node_of(5), 2);
+  EXPECT_EQ(topo.node_of(7), 3);
+  EXPECT_EQ(topo.ranks_on_node(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(topo.ranks_on_node(3), (std::vector<int>{6, 7}));
+}
+
+TEST(Topology, CyclicMappingMatchesPaperFig5) {
+  // Fig. 5 cyclic column: N0(P0,P4) N1(P1,P5) N2(P2,P6) N3(P3,P7).
+  const Topology topo(8, 2, Mapping::Cyclic);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.node_of(0), 0);
+  EXPECT_EQ(topo.node_of(4), 0);
+  EXPECT_EQ(topo.node_of(1), 1);
+  EXPECT_EQ(topo.node_of(6), 2);
+  EXPECT_EQ(topo.ranks_on_node(0), (std::vector<int>{0, 4}));
+  EXPECT_EQ(topo.ranks_on_node(2), (std::vector<int>{2, 6}));
+}
+
+TEST(Topology, UnevenLastNode) {
+  const Topology topo(7, 2, Mapping::Block);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.ranks_on_node(3), (std::vector<int>{6}));
+}
+
+TEST(Topology, BadArgumentsThrow) {
+  EXPECT_THROW(Topology(0, 2), std::invalid_argument);
+  EXPECT_THROW(Topology(4, 0), std::invalid_argument);
+  const Topology topo(4, 2);
+  EXPECT_THROW(static_cast<void>(topo.node_of(-1)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(topo.node_of(4)), std::out_of_range);
+  EXPECT_THROW(topo.ranks_on_node(2), std::out_of_range);
+}
+
+TEST(MachineModel, JaguarDefaultsMatchPaperTestbed) {
+  const MachineModel model = MachineModel::jaguar(512);
+  EXPECT_EQ(model.topology.cores_per_node(), 2);  // dual-core PEs
+  EXPECT_EQ(model.topology.num_nodes(), 256);
+  EXPECT_EQ(model.storage.num_osts, 72);          // the tested file system
+  EXPECT_EQ(model.storage.default_stripe_count, 64);
+  EXPECT_EQ(model.storage.default_stripe_size, 4ull << 20);
+}
+
+TEST(Random, JitterIsDeterministicAndInRange) {
+  for (std::uint64_t seed : {1ull, 42ull, 12345ull}) {
+    for (std::uint64_t seq = 0; seq < 100; ++seq) {
+      const double a = sim::jitter01(seed, 7, seq);
+      const double b = sim::jitter01(seed, 7, seq);
+      EXPECT_EQ(a, b);
+      EXPECT_GE(a, 0.0);
+      EXPECT_LT(a, 1.0);
+    }
+  }
+}
+
+TEST(Random, DistinctStreamsDiffer) {
+  int same = 0;
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    if (sim::jitter01(42, 1, seq) == sim::jitter01(42, 2, seq)) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Random, Mix64AvalanchesLowBits) {
+  // Consecutive inputs should produce wildly different outputs.
+  EXPECT_NE(sim::mix64(1) & 0xffff, sim::mix64(2) & 0xffff);
+  EXPECT_NE(sim::mix64(0), sim::mix64(1));
+}
+
+TEST(MachineModel, FileSystemPersonalities) {
+  const MachineModel gpfs = MachineModel::gpfs_like(64);
+  EXPECT_EQ(gpfs.storage.num_osts, 32);
+  EXPECT_EQ(gpfs.storage.default_stripe_size, 1ull << 20);
+  EXPECT_EQ(gpfs.storage.lock_dirty_cap, 0u);  // token locks, no flush
+  const MachineModel pvfs = MachineModel::pvfs_like(64);
+  EXPECT_DOUBLE_EQ(pvfs.storage.lock_revoke_overhead, 0.0);  // no locking
+  EXPECT_DOUBLE_EQ(pvfs.storage.flock_server_time, 0.0);
+  // The compute side stays the Jaguar-like machine.
+  EXPECT_EQ(pvfs.topology.cores_per_node(), 2);
+}
+
+}  // namespace
+}  // namespace parcoll::machine

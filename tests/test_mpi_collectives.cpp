@@ -1,0 +1,247 @@
+// Collectives: data semantics, wait-for-all timing, sync accounting,
+// cost-model shape, and comm_split.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "mpi/collectives.hpp"
+#include "mpi/runtime.hpp"
+
+namespace parcoll::mpi {
+namespace {
+
+World make_world(int nranks) {
+  return World(machine::MachineModel::jaguar(nranks));
+}
+
+TEST(Collectives, BarrierSynchronizesArrivals) {
+  World world = make_world(4);
+  std::vector<double> release(4, 0);
+  world.run([&](Rank& self) {
+    self.busy(TimeCat::Compute, 0.1 * self.rank());  // staggered arrivals
+    barrier(self, self.comm_world());
+    release[self.rank()] = self.now();
+  });
+  // Everyone leaves at the same instant, no earlier than the last arrival.
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(release[r], release[0]);
+  }
+  EXPECT_GE(release[0], 0.3);
+}
+
+TEST(Collectives, StragglerWaitIsChargedToSync) {
+  World world = make_world(4);
+  world.run([&](Rank& self) {
+    if (self.rank() == 3) self.busy(TimeCat::Compute, 2.0);
+    barrier(self, self.comm_world());
+  });
+  // Rank 0 waited ~2s for rank 3; rank 3 waited ~0.
+  EXPECT_NEAR(world.rank_times()[0][TimeCat::Sync], 2.0, 0.01);
+  EXPECT_LT(world.rank_times()[3][TimeCat::Sync], 0.01);
+}
+
+TEST(Collectives, AllgatherDeliversEveryValue) {
+  World world = make_world(5);
+  std::vector<std::vector<int>> results(5);
+  world.run([&](Rank& self) {
+    results[self.rank()] = allgather(self, self.comm_world(), self.rank() * 10);
+  });
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(results[r], (std::vector<int>{0, 10, 20, 30, 40}));
+  }
+}
+
+TEST(Collectives, AllgathervVariableLengths) {
+  World world = make_world(3);
+  std::vector<std::vector<std::vector<int>>> results(3);
+  world.run([&](Rank& self) {
+    std::vector<int> mine(static_cast<std::size_t>(self.rank()), self.rank());
+    results[self.rank()] = allgatherv(self, self.comm_world(), mine);
+  });
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(results[r].size(), 3u);
+    EXPECT_TRUE(results[r][0].empty());
+    EXPECT_EQ(results[r][1], (std::vector<int>{1}));
+    EXPECT_EQ(results[r][2], (std::vector<int>{2, 2}));
+  }
+}
+
+TEST(Collectives, BcastFromNonzeroRoot) {
+  World world = make_world(4);
+  std::vector<int> results(4, -1);
+  world.run([&](Rank& self) {
+    const int value = self.rank() == 2 ? 777 : 0;
+    results[self.rank()] = bcast(self, self.comm_world(), 2, value);
+  });
+  EXPECT_EQ(results, (std::vector<int>{777, 777, 777, 777}));
+}
+
+TEST(Collectives, GathervOnlyRootReceives) {
+  World world = make_world(3);
+  std::vector<std::size_t> sizes(3, 99);
+  world.run([&](Rank& self) {
+    std::vector<int> mine{self.rank()};
+    const auto gathered = gatherv(self, self.comm_world(), 1, mine);
+    sizes[self.rank()] = gathered.size();
+  });
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{0, 3, 0}));
+}
+
+TEST(Collectives, AlltoallPersonalizedExchange) {
+  World world = make_world(3);
+  std::vector<std::vector<int>> results(3);
+  world.run([&](Rank& self) {
+    std::vector<int> send(3);
+    for (int peer = 0; peer < 3; ++peer) {
+      send[peer] = self.rank() * 100 + peer;  // value destined for `peer`
+    }
+    results[self.rank()] = alltoall(self, self.comm_world(), send);
+  });
+  // results[r][j] = what j sent to r = j*100 + r.
+  for (int r = 0; r < 3; ++r) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_EQ(results[r][j], j * 100 + r);
+    }
+  }
+}
+
+TEST(Collectives, AllreduceSumMaxMin) {
+  World world = make_world(6);
+  std::vector<std::array<long, 3>> results(6);
+  world.run([&](Rank& self) {
+    const long value = self.rank() + 1;
+    results[self.rank()] = {allreduce_sum(self, self.comm_world(), value),
+                            allreduce_max(self, self.comm_world(), value),
+                            allreduce_min(self, self.comm_world(), value)};
+  });
+  for (const auto& [sum, max, min] : results) {
+    EXPECT_EQ(sum, 21);
+    EXPECT_EQ(max, 6);
+    EXPECT_EQ(min, 1);
+  }
+}
+
+TEST(Collectives, ExscanSumPrefixes) {
+  World world = make_world(5);
+  std::vector<std::uint64_t> results(5);
+  world.run([&](Rank& self) {
+    results[self.rank()] =
+        exscan_sum(self, self.comm_world(), std::uint64_t{10});
+  });
+  EXPECT_EQ(results, (std::vector<std::uint64_t>{0, 10, 20, 30, 40}));
+}
+
+TEST(Collectives, BackToBackCollectivesKeepSequence) {
+  World world = make_world(4);
+  world.run([&](Rank& self) {
+    for (int round = 0; round < 10; ++round) {
+      const auto values =
+          allgather(self, self.comm_world(), self.rank() + round);
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_EQ(values[r], r + round);
+      }
+    }
+  });
+}
+
+TEST(Collectives, SingletonCommIsFree) {
+  World world = make_world(1);
+  world.run([&](Rank& self) {
+    const double t0 = self.now();
+    barrier(self, self.comm_world());
+    const auto all = allgather(self, self.comm_world(), 42);
+    EXPECT_EQ(all, (std::vector<int>{42}));
+    EXPECT_DOUBLE_EQ(self.now(), t0);
+  });
+}
+
+TEST(CollectiveCost, AlltoallGrowsLinearlyBarrierLogarithmically) {
+  const machine::NetworkParams net;
+  const double barrier_64 = coll_cost(net, CollKind::Barrier, 64, 0, 0);
+  const double barrier_1024 = coll_cost(net, CollKind::Barrier, 1024, 0, 0);
+  EXPECT_NEAR(barrier_1024 / barrier_64, 10.0 / 6.0, 1e-9);  // log ratio
+
+  const double a2a_64 = coll_cost(net, CollKind::Alltoall, 64, 256, 256 * 64);
+  const double a2a_1024 =
+      coll_cost(net, CollKind::Alltoall, 1024, 4096, 4096 * 1024);
+  EXPECT_GT(a2a_1024 / a2a_64, 10.0);  // super-logarithmic growth
+}
+
+TEST(CollectiveCost, SingleRankIsFree) {
+  const machine::NetworkParams net;
+  for (CollKind kind : {CollKind::Barrier, CollKind::Bcast, CollKind::Gather,
+                        CollKind::Allgather, CollKind::Alltoall,
+                        CollKind::Allreduce, CollKind::Scan}) {
+    EXPECT_DOUBLE_EQ(coll_cost(net, kind, 1, 1000, 1000), 0.0);
+  }
+}
+
+TEST(CommSplit, SplitsByColorOrderedByKey) {
+  World world = make_world(6);
+  std::vector<int> sub_rank(6, -1);
+  std::vector<int> sub_size(6, -1);
+  world.run([&](Rank& self) {
+    const int color = self.rank() % 2;
+    // Reverse key order within each color.
+    const Comm sub =
+        comm_split(self, self.comm_world(), color, -self.rank());
+    sub_rank[self.rank()] = sub.local_rank(self.rank());
+    sub_size[self.rank()] = sub.size();
+  });
+  // Evens {0,2,4} with keys {0,-2,-4}: order 4,2,0.
+  EXPECT_EQ(sub_size, (std::vector<int>{3, 3, 3, 3, 3, 3}));
+  EXPECT_EQ(sub_rank[4], 0);
+  EXPECT_EQ(sub_rank[2], 1);
+  EXPECT_EQ(sub_rank[0], 2);
+}
+
+TEST(CommSplit, SubcommunicatorsIsolateCollectives) {
+  World world = make_world(8);
+  std::vector<int> sums(8, 0);
+  world.run([&](Rank& self) {
+    const int color = self.rank() / 4;  // two groups of 4
+    const Comm sub = comm_split(self, self.comm_world(), color, self.rank());
+    sums[self.rank()] = allreduce_sum(self, sub, self.rank());
+  });
+  // Group 0: 0+1+2+3 = 6; group 1: 4+5+6+7 = 22.
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(sums[r], 6);
+  for (int r = 4; r < 8; ++r) EXPECT_EQ(sums[r], 22);
+}
+
+TEST(CommSplit, NestedSplitWorks) {
+  World world = make_world(8);
+  std::vector<int> sizes(8, 0);
+  world.run([&](Rank& self) {
+    const Comm half =
+        comm_split(self, self.comm_world(), self.rank() / 4, self.rank());
+    const Comm quarter =
+        comm_split(self, half, self.rank() % 2, self.rank());
+    sizes[self.rank()] = quarter.size();
+  });
+  EXPECT_EQ(sizes, std::vector<int>(8, 2));
+}
+
+TEST(Collectives, SmallerGroupsSynchronizeCheaper) {
+  // The heart of ParColl: P/G-rank collectives cost less than P-rank ones.
+  const auto sync_of = [](int nranks, int groups) {
+    World world(machine::MachineModel::jaguar(nranks));
+    world.run([&](Rank& self) {
+      const int color = self.rank() / (nranks / groups);
+      const Comm sub = comm_split(self, self.comm_world(), color, self.rank());
+      for (int round = 0; round < 20; ++round) {
+        std::vector<std::uint32_t> sizes(
+            static_cast<std::size_t>(sub.size()), 1);
+        alltoall(self, sub, sizes);
+      }
+    });
+    double total = 0;
+    for (const auto& breakdown : world.rank_times()) {
+      total += breakdown[TimeCat::Sync];
+    }
+    return total;
+  };
+  EXPECT_LT(sync_of(64, 8), sync_of(64, 1) / 2.0);
+}
+
+}  // namespace
+}  // namespace parcoll::mpi

@@ -1,0 +1,76 @@
+// Network model: alpha-beta transfers and per-NIC serialization.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace parcoll::net {
+namespace {
+
+machine::MachineModel model4() {
+  return machine::MachineModel::jaguar(8);  // 4 nodes
+}
+
+TEST(Network, AlphaBetaCost) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  const double done = network.transfer(0.0, 0, 1, 1'000'000);
+  EXPECT_DOUBLE_EQ(done,
+                   model.net.p2p_latency + 1e6 / model.net.p2p_bandwidth);
+}
+
+TEST(Network, ReceiverNicSerializesConcurrentSenders) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  const double per_msg = model.net.p2p_latency + 1e6 / model.net.p2p_bandwidth;
+  const double first = network.transfer(0.0, 0, 2, 1'000'000);
+  const double second = network.transfer(0.0, 1, 2, 1'000'000);
+  EXPECT_DOUBLE_EQ(first, per_msg);
+  // The second transfer must queue behind the first at node 2's RX.
+  EXPECT_DOUBLE_EQ(second, 2 * per_msg);
+}
+
+TEST(Network, SenderNicSerializesConcurrentDestinations) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  const double per_msg = model.net.p2p_latency + 1e6 / model.net.p2p_bandwidth;
+  const double first = network.transfer(0.0, 0, 1, 1'000'000);
+  const double second = network.transfer(0.0, 0, 2, 1'000'000);
+  EXPECT_DOUBLE_EQ(first, per_msg);
+  EXPECT_DOUBLE_EQ(second, 2 * per_msg);
+}
+
+TEST(Network, DisjointPairsDoNotInterfere) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  const double a = network.transfer(0.0, 0, 1, 1'000'000);
+  const double b = network.transfer(0.0, 2, 3, 1'000'000);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Network, IntraNodeUsesMemoryBandwidthAndNoLatency) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  const double done = network.transfer(0.0, 1, 1, 2'000'000);
+  EXPECT_DOUBLE_EQ(done, 2e6 / model.mem.memcpy_bandwidth);
+  // Intra-node copies do not occupy the NIC.
+  const double wire = network.transfer(0.0, 1, 2, 1'000'000);
+  EXPECT_DOUBLE_EQ(wire,
+                   model.net.p2p_latency + 1e6 / model.net.p2p_bandwidth);
+}
+
+TEST(Network, ReadyTimeDelaysStart) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  const double done = network.transfer(5.0, 0, 1, 0);
+  EXPECT_DOUBLE_EQ(done, 5.0 + model.net.p2p_latency);
+}
+
+TEST(Network, BadNodeThrows) {
+  auto model = model4();
+  Network network(model.topology, model.net, model.mem);
+  EXPECT_THROW(network.transfer(0.0, -1, 0, 1), std::out_of_range);
+  EXPECT_THROW(network.transfer(0.0, 0, 99, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace parcoll::net

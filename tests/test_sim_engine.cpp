@@ -1,0 +1,224 @@
+// Discrete-event engine: clock, ordering, sleep/suspend/wake, deadlock
+// detection, and the WaitQueue primitive.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace parcoll::sim {
+namespace {
+
+TEST(Engine, RunsSingleProcessToCompletion) {
+  Engine engine;
+  bool ran = false;
+  engine.spawn([&] { ran = true; });
+  engine.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(engine.live_processes(), 0u);
+}
+
+TEST(Engine, SleepAdvancesVirtualTime) {
+  Engine engine;
+  double at_end = -1;
+  engine.spawn([&] {
+    engine.sleep(1.5);
+    engine.sleep(0.25);
+    at_end = engine.now();
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(at_end, 1.75);
+}
+
+TEST(Engine, SleepZeroDoesNotYield) {
+  Engine engine;
+  engine.spawn([&] {
+    const double before = engine.now();
+    engine.sleep(0.0);
+    EXPECT_DOUBLE_EQ(engine.now(), before);
+  });
+  engine.run();
+}
+
+TEST(Engine, NegativeSleepThrows) {
+  Engine engine;
+  engine.spawn([&] { EXPECT_THROW(engine.sleep(-1.0), std::logic_error); });
+  engine.run();
+}
+
+TEST(Engine, ProcessesInterleaveInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.spawn([&] {
+    engine.sleep(2.0);
+    order.push_back(1);
+  });
+  engine.spawn([&] {
+    engine.sleep(1.0);
+    order.push_back(2);
+  });
+  engine.spawn([&] {
+    engine.sleep(3.0);
+    order.push_back(3);
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(Engine, EqualTimesResolveInSpawnOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn([&, i] {
+      engine.sleep(1.0);
+      order.push_back(i);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, SuspendAndWake) {
+  Engine engine;
+  ProcId sleeper = -1;
+  double woke_at = -1;
+  sleeper = engine.spawn([&] {
+    engine.suspend("waiting for test");
+    woke_at = engine.now();
+  });
+  engine.spawn([&] {
+    engine.sleep(4.0);
+    engine.wake(sleeper);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(woke_at, 4.0);
+}
+
+TEST(Engine, WakeAtFutureTime) {
+  Engine engine;
+  ProcId sleeper = -1;
+  double woke_at = -1;
+  sleeper = engine.spawn([&] {
+    engine.suspend("waiting");
+    woke_at = engine.now();
+  });
+  engine.spawn([&] {
+    engine.sleep(1.0);
+    engine.wake_at(10.0, sleeper);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(woke_at, 10.0);
+}
+
+TEST(Engine, WakingARunnableProcessThrows) {
+  Engine engine;
+  const ProcId a = engine.spawn([&] { engine.sleep(1.0); });
+  engine.spawn([&] { EXPECT_THROW(engine.wake(a), std::logic_error); });
+  engine.run();
+}
+
+TEST(Engine, DeadlockIsReportedWithReason) {
+  Engine engine;
+  engine.spawn([&] { engine.suspend("never woken"); });
+  try {
+    engine.run();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& error) {
+    EXPECT_NE(std::string(error.what()).find("never woken"), std::string::npos);
+  }
+}
+
+TEST(Engine, PostedCallbackRunsAtRequestedTime) {
+  Engine engine;
+  double ran_at = -1;
+  engine.spawn([&] {
+    engine.post(engine.now() + 2.5, [&] { ran_at = engine.now(); });
+    engine.sleep(5.0);
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(ran_at, 2.5);
+}
+
+TEST(Engine, NestedSpawnStartsAtCurrentTime) {
+  Engine engine;
+  double child_start = -1;
+  engine.spawn([&] {
+    engine.sleep(3.0);
+    engine.spawn([&] { child_start = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(child_start, 3.0);
+}
+
+TEST(Engine, ManyProcessesComplete) {
+  Engine engine;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    engine.spawn([&, i] {
+      engine.sleep(static_cast<double>(i % 7) * 0.001);
+      ++done;
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(WaitQueue, NotifyOneWakesInFifoOrder) {
+  Engine engine;
+  WaitQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([&, i] {
+      engine.sleep(static_cast<double>(i) * 0.1);  // stagger arrival
+      queue.wait(engine, "queued");
+      order.push_back(i);
+    });
+  }
+  engine.spawn([&] {
+    engine.sleep(1.0);
+    while (queue.notify_one(engine)) {
+    }
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryone) {
+  Engine engine;
+  WaitQueue queue;
+  int woken = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.spawn([&] {
+      queue.wait(engine, "all");
+      ++woken;
+    });
+  }
+  engine.spawn([&] {
+    engine.sleep(1.0);
+    EXPECT_EQ(queue.size(), 10u);
+    queue.notify_all(engine);
+  });
+  engine.run();
+  EXPECT_EQ(woken, 10);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    std::vector<std::pair<int, double>> events;
+    for (int i = 0; i < 20; ++i) {
+      engine.spawn([&, i] {
+        engine.sleep(static_cast<double>((i * 37) % 11) * 0.01);
+        events.emplace_back(i, engine.now());
+        engine.sleep(0.005);
+        events.emplace_back(i + 100, engine.now());
+      });
+    }
+    engine.run();
+    return events;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace parcoll::sim

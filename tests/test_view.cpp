@@ -1,0 +1,117 @@
+// File views: stream-to-file mapping, tiling, validation.
+#include <gtest/gtest.h>
+
+#include "mpiio/view.hpp"
+
+namespace parcoll::mpiio {
+namespace {
+
+using dtype::Datatype;
+
+TEST(FileView, DefaultViewIsContiguousBytes) {
+  const FileView view;
+  EXPECT_TRUE(view.contiguous());
+  const auto extents = view.map(100, 50);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (fs::Extent{100, 50}));
+}
+
+TEST(FileView, DisplacementShiftsEverything) {
+  const FileView view(1000, 1, Datatype::bytes(1));
+  const auto extents = view.map(5, 10);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (fs::Extent{1005, 10}));
+}
+
+TEST(FileView, EtypeScalesOffsets) {
+  const FileView view(0, 8, Datatype::bytes(8));
+  const auto extents = view.map(3, 16);  // 3 etypes of 8B -> byte 24
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (fs::Extent{24, 16}));
+}
+
+TEST(FileView, StridedFiletypeTiles) {
+  // Filetype: 4 data bytes then 12-byte hole (extent 16).
+  const Datatype ftype = Datatype::resized(Datatype::bytes(4), 0, 16);
+  const FileView view(0, 4, ftype);
+  EXPECT_FALSE(view.contiguous());
+  EXPECT_EQ(view.tile_size(), 4u);
+  EXPECT_EQ(view.tile_extent(), 16u);
+  // 12 stream bytes = 3 tiles.
+  const auto extents = view.map(0, 12);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0], (fs::Extent{0, 4}));
+  EXPECT_EQ(extents[1], (fs::Extent{16, 4}));
+  EXPECT_EQ(extents[2], (fs::Extent{32, 4}));
+}
+
+TEST(FileView, MidTileStartAndEnd) {
+  const Datatype ftype = Datatype::resized(Datatype::bytes(4), 0, 16);
+  const FileView view(0, 1, ftype);
+  // Stream [2, 9): last 2B of tile 0, all of tile 1, first 1B of tile 2.
+  const auto extents = view.map(2, 7);
+  ASSERT_EQ(extents.size(), 3u);
+  EXPECT_EQ(extents[0], (fs::Extent{2, 2}));
+  EXPECT_EQ(extents[1], (fs::Extent{16, 4}));
+  EXPECT_EQ(extents[2], (fs::Extent{32, 1}));
+}
+
+TEST(FileView, AdjacentTilesCoalesceWhenDense) {
+  // A subarray covering a full row tiles densely within a row band.
+  const Datatype ftype = Datatype::resized(Datatype::bytes(16), 0, 16);
+  const FileView view(0, 1, ftype);
+  const auto extents = view.map(0, 64);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0], (fs::Extent{0, 64}));
+}
+
+TEST(FileView, SubarrayViewMapsTileRows) {
+  // 2x2 tile grid of 2x3-element tiles (1B elements); rank at tile (1,0).
+  const std::int64_t sizes[] = {4, 6};
+  const std::int64_t subsizes[] = {2, 3};
+  const std::int64_t starts[] = {2, 0};
+  const Datatype ftype =
+      Datatype::subarray(sizes, subsizes, starts, Datatype::bytes(1));
+  const FileView view(0, 1, ftype);
+  const auto extents = view.map(0, 6);
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0], (fs::Extent{12, 3}));  // row 2
+  EXPECT_EQ(extents[1], (fs::Extent{18, 3}));  // row 3
+}
+
+TEST(FileView, ZeroLengthMapsToNothing) {
+  const FileView view;
+  EXPECT_TRUE(view.map(123, 0).empty());
+}
+
+TEST(FileView, RejectsNonMonotoneFiletype) {
+  const dtype::IndexedBlock blocks[] = {{10, 1}, {0, 1}};
+  const Datatype bad = Datatype::hindexed(blocks, Datatype::bytes(4));
+  EXPECT_THROW(FileView(0, 1, bad), std::invalid_argument);
+}
+
+TEST(FileView, RejectsEmptyFiletypeAndBadEtype) {
+  EXPECT_THROW(FileView(0, 0, Datatype::bytes(4)), std::invalid_argument);
+  EXPECT_THROW(FileView(0, 1, Datatype()), std::invalid_argument);
+  // Filetype size not a multiple of etype.
+  EXPECT_THROW(FileView(0, 3, Datatype::bytes(4)), std::invalid_argument);
+}
+
+TEST(FileView, MapBytesCorrespondToStreamOrder) {
+  // Walking the extents in order must visit the stream in order: verify
+  // total length and monotonicity for a gappy view.
+  const Datatype ftype = Datatype::vec(3, 1, 2, Datatype::bytes(4));
+  const FileView view(8, 4, Datatype::resized(ftype, 0, 24));
+  const auto extents = view.map(1, 20);
+  std::uint64_t total = 0;
+  std::uint64_t last_end = 0;
+  for (const auto& extent : extents) {
+    EXPECT_GE(extent.offset, last_end);
+    last_end = extent.end();
+    total += extent.length;
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+}  // namespace
+}  // namespace parcoll::mpiio

@@ -1,0 +1,115 @@
+// Cross-implementation equivalence: for each workload, the file contents
+// after a collective write must be byte-identical whether the call ran
+// through plain ext2ph, ParColl (direct or intermediate), ParColl-auto,
+// or with collective buffering disabled (sieving) — plus epio sanity.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/file_area.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/flashio.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/tileio.hpp"
+
+namespace parcoll::workloads {
+namespace {
+
+RunSpec spec_for(Impl impl, int groups) {
+  RunSpec spec;
+  spec.impl = impl;
+  spec.parcoll_groups = groups;
+  spec.min_group_size = 2;
+  spec.byte_true = true;
+  spec.cb_buffer_size = 4096;
+  return spec;
+}
+
+struct Variant {
+  const char* name;
+  Impl impl;
+  int groups;
+};
+
+const Variant kVariants[] = {
+    {"ext2ph", Impl::Ext2ph, 0},
+    {"parcoll-2", Impl::ParColl, 2},
+    {"parcoll-4", Impl::ParColl, 4},
+    {"parcoll-auto", Impl::ParColl, core::kAutoGroups},
+    {"sieving", Impl::Sieving, 0},
+};
+
+TEST(WorkloadEquivalence, TileIoAllImplsVerify) {
+  TileIOConfig config;
+  config.tiles_x = 4;
+  config.tile_w = 8;
+  config.tile_h = 4;
+  config.elem_size = 8;
+  for (const Variant& variant : kVariants) {
+    const auto result =
+        run_tileio(config, 8, spec_for(variant.impl, variant.groups), true);
+    EXPECT_TRUE(result.verified) << variant.name;
+    EXPECT_EQ(result.bytes, config.file_bytes(8)) << variant.name;
+  }
+}
+
+TEST(WorkloadEquivalence, BtioAllImplsVerify) {
+  BtIOConfig config;
+  config.grid = 12;
+  config.nsteps = 2;
+  for (const Variant& variant : kVariants) {
+    const auto result =
+        run_btio(config, 9, spec_for(variant.impl, variant.groups), true);
+    EXPECT_TRUE(result.verified) << variant.name;
+  }
+}
+
+TEST(WorkloadEquivalence, FlashAllImplsVerify) {
+  FlashConfig config;
+  config.nxb = 4;
+  config.nguard = 1;
+  config.nblocks = 3;
+  config.nvars = 2;
+  for (const Variant& variant : kVariants) {
+    const auto result =
+        run_flashio(config, 8, spec_for(variant.impl, variant.groups), true);
+    EXPECT_TRUE(result.verified) << variant.name;
+  }
+}
+
+TEST(WorkloadEquivalence, IorAllImplsVerify) {
+  IorConfig config;
+  config.block_size = 32 << 10;
+  config.xfer_size = 8 << 10;
+  for (const Variant& variant : kVariants) {
+    const auto result =
+        run_ior(config, 8, spec_for(variant.impl, variant.groups), true);
+    EXPECT_TRUE(result.verified) << variant.name;
+  }
+}
+
+TEST(WorkloadEquivalence, EpioVerifiesAndBeatsSharedFileAtSmallScale) {
+  BtIOConfig config;
+  config.grid = 12;
+  config.nsteps = 2;
+  const auto epio = run_btio_epio(config, 9, spec_for(Impl::Ext2ph, 0));
+  EXPECT_TRUE(epio.verified);
+  // Contiguous per-process files avoid the whole shared-file problem.
+  const auto shared = run_btio(config, 9, spec_for(Impl::Ext2ph, 0), true);
+  EXPECT_LT(epio.elapsed, shared.elapsed);
+}
+
+TEST(WorkloadEquivalence, PlotfilesThroughEveryImpl) {
+  auto config = FlashConfig::plotfile_corner();
+  config.nxb = 3;
+  config.nblocks = 2;
+  config.nvars = 2;
+  for (const Variant& variant : kVariants) {
+    const auto result =
+        run_flashio(config, 4, spec_for(variant.impl, variant.groups), true);
+    EXPECT_TRUE(result.verified) << variant.name;
+  }
+}
+
+}  // namespace
+}  // namespace parcoll::workloads

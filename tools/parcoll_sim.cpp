@@ -1,0 +1,211 @@
+// parcoll_sim — command-line driver for the simulator.
+//
+// Runs one workload under one I/O implementation on the simulated machine
+// and reports bandwidth, the time breakdown, and the file summary.
+//
+// Examples:
+//   parcoll_sim --workload tileio --nprocs 512 --impl parcoll --groups 64
+//   parcoll_sim --workload ior --nprocs 128 --impl ext2ph
+//   parcoll_sim --workload btio --nprocs 256 --impl parcoll --groups auto 
+//               --cb-nodes 16
+//   parcoll_sim --workload flash --nprocs 256 --impl sieving
+//   parcoll_sim --workload tileio --nprocs 32 --impl parcoll --groups 4 
+//               --trace trace.csv --gantt
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/file_area.hpp"
+#include "mpi/trace.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/flashio.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/tileio.hpp"
+
+namespace {
+
+using namespace parcoll;
+using workloads::Impl;
+using workloads::RunResult;
+using workloads::RunSpec;
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --workload tileio|ior|btio|flash|flash-plot   (default tileio)\n"
+      "  --nprocs N              simulated MPI processes (default 64)\n"
+      "  --impl ext2ph|parcoll|independent|posix|sieving (default ext2ph)\n"
+      "  --groups N|auto         ParColl subgroup count (default auto)\n"
+      "  --min-group-size N      least subgroup size (default 8)\n"
+      "  --no-view-switch        disable the intermediate file view\n"
+      "  --no-persistent-groups  re-partition on every collective call\n"
+      "  --cb-nodes N            aggregator nodes (default: all processes)\n"
+      "  --cb-buffer BYTES       collective buffer size (default 4 MiB)\n"
+      "  --read                  measure collective read instead of write\n"
+      "  --steps N               BT-IO time steps (default 3)\n"
+      "  --nvars N               Flash variables (default 24)\n"
+      "  --osts N                storage targets (default 72)\n"
+      "  --seed N                jitter seed (default 42)\n"
+      "  --trace FILE.csv        write a per-rank interval trace\n"
+      "  --gantt                 print a text timeline (implies tracing)\n",
+      argv0);
+}
+
+int parse_groups(const std::string& value) {
+  if (value == "auto") return core::kAutoGroups;
+  return std::stoi(value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "tileio";
+  std::string impl = "ext2ph";
+  int nprocs = 64;
+  int groups = core::kAutoGroups;
+  int steps = 3;
+  int nvars = 24;
+  bool write = true;
+  bool gantt = false;
+  std::string trace_path;
+  RunSpec spec;
+  spec.byte_true = false;
+  int osts = 0;
+  std::uint64_t seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--nprocs") {
+      nprocs = std::stoi(next());
+    } else if (arg == "--impl") {
+      impl = next();
+    } else if (arg == "--groups") {
+      groups = parse_groups(next());
+    } else if (arg == "--min-group-size") {
+      spec.min_group_size = std::stoi(next());
+    } else if (arg == "--no-view-switch") {
+      spec.view_switch = false;
+    } else if (arg == "--no-persistent-groups") {
+      spec.persistent_groups = false;
+    } else if (arg == "--cb-nodes") {
+      spec.cb_nodes = std::stoi(next());
+    } else if (arg == "--cb-buffer") {
+      spec.cb_buffer_size = std::stoull(next());
+    } else if (arg == "--read") {
+      write = false;
+    } else if (arg == "--steps") {
+      steps = std::stoi(next());
+    } else if (arg == "--nvars") {
+      nvars = std::stoi(next());
+    } else if (arg == "--osts") {
+      osts = std::stoi(next());
+    } else if (arg == "--seed") {
+      seed = std::stoull(next());
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--gantt") {
+      gantt = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (impl == "ext2ph") {
+    spec.impl = Impl::Ext2ph;
+  } else if (impl == "parcoll") {
+    spec.impl = Impl::ParColl;
+    spec.parcoll_groups = groups;
+  } else if (impl == "independent") {
+    spec.impl = Impl::Independent;
+  } else if (impl == "posix") {
+    spec.impl = Impl::PosixIndependent;
+  } else if (impl == "sieving") {
+    spec.impl = Impl::Sieving;
+  } else {
+    std::fprintf(stderr, "unknown impl: %s\n", impl.c_str());
+    return 2;
+  }
+  if (osts > 0 || seed > 0) {
+    spec.tweak_model = [osts, seed](machine::MachineModel& model) {
+      if (osts > 0) {
+        model.storage.num_osts = osts;
+        model.storage.default_stripe_count = std::min(64, osts);
+      }
+      if (seed > 0) model.storage.seed = seed;
+    };
+  }
+  spec.trace = gantt || !trace_path.empty();
+
+  RunResult result;
+  if (workload == "tileio") {
+    result = workloads::run_tileio(workloads::TileIOConfig::paper(nprocs),
+                                   nprocs, spec, write);
+  } else if (workload == "ior") {
+    result = workloads::run_ior(workloads::IorConfig{}, nprocs, spec, write);
+  } else if (workload == "btio") {
+    workloads::BtIOConfig config;
+    config.nsteps = steps;
+    result = workloads::run_btio(config, nprocs, spec, write);
+  } else if (workload == "flash" || workload == "flash-plot") {
+    auto config = workload == "flash"
+                      ? workloads::FlashConfig::checkpoint()
+                      : workloads::FlashConfig::plotfile_centered();
+    config.nvars = std::min(nvars, config.nvars);
+    result = workloads::run_flashio(config, nprocs, spec, write);
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+    return 2;
+  }
+
+  std::printf("workload  : %s (%s, %d procs)\n", workload.c_str(),
+              write ? "write" : "read", nprocs);
+  std::printf("impl      : %s", impl.c_str());
+  if (spec.impl == Impl::ParColl) {
+    std::printf(" (groups used: %d%s)", result.stats.last_num_groups,
+                result.stats.view_switches ? ", intermediate views" : "");
+  }
+  std::printf("\n");
+  std::printf("bytes     : %.1f MiB\n",
+              static_cast<double>(result.bytes) / (1 << 20));
+  std::printf("elapsed   : %.4f s (virtual)\n", result.elapsed);
+  std::printf("bandwidth : %.1f MiB/s\n", result.bandwidth_mib());
+  const double total = result.sum.total();
+  std::printf("breakdown : compute %.1f%%  p2p %.1f%%  sync %.1f%%  io %.1f%%"
+              "  (rank-seconds: %.2f)\n",
+              100 * result.sum[mpi::TimeCat::Compute] / total,
+              100 * result.sum[mpi::TimeCat::P2P] / total,
+              100 * result.sum[mpi::TimeCat::Sync] / total,
+              100 * result.sum[mpi::TimeCat::IO] / total, total);
+  std::printf("fs        : %llu RPCs, %llu lock revocations\n",
+              static_cast<unsigned long long>(result.fs_rpcs),
+              static_cast<unsigned long long>(result.fs_lock_switches));
+  std::printf("%s\n", result.stats.summary(workload).c_str());
+  if (result.trace) {
+    if (!trace_path.empty()) {
+      std::ofstream os(trace_path);
+      result.trace->write_csv(os);
+      std::printf("trace     : %zu intervals -> %s\n",
+                  result.trace->events().size(), trace_path.c_str());
+    }
+    if (gantt) {
+      std::printf("%s", result.trace->gantt(96, 16).c_str());
+    }
+  }
+  return 0;
+}

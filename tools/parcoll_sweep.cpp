@@ -1,0 +1,142 @@
+// parcoll_sweep — parameter sweeps to CSV, for plotting the paper's
+// figures (or your own) with external tooling.
+//
+// Emits one CSV row per (workload, impl, nprocs, groups) combination:
+//   workload,impl,nprocs,groups,groups_used,mode,bytes,elapsed_s,
+//   bandwidth_mib,sync_share,io_share,rpcs,lock_revocations
+//
+// Examples:
+//   parcoll_sweep --workload tileio --procs 64,128,256,512 
+//                 --groups 0,8,32,64 > tileio.csv
+//   parcoll_sweep --workload btio --procs 256,400,576 --groups 0,auto
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/file_area.hpp"
+#include "workloads/btio.hpp"
+#include "workloads/flashio.hpp"
+#include "workloads/ior.hpp"
+#include "workloads/tileio.hpp"
+
+namespace {
+
+using namespace parcoll;
+using workloads::Impl;
+using workloads::RunResult;
+using workloads::RunSpec;
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::stringstream stream(value);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+RunResult run_one(const std::string& workload, int nprocs,
+                  const RunSpec& spec, int steps, int nvars) {
+  if (workload == "tileio") {
+    return workloads::run_tileio(workloads::TileIOConfig::paper(nprocs),
+                                 nprocs, spec, true);
+  }
+  if (workload == "ior") {
+    return workloads::run_ior(workloads::IorConfig{}, nprocs, spec, true);
+  }
+  if (workload == "btio") {
+    workloads::BtIOConfig config;
+    config.nsteps = steps;
+    return workloads::run_btio(config, nprocs, spec, true);
+  }
+  if (workload == "flash") {
+    auto config = workloads::FlashConfig::checkpoint();
+    config.nvars = nvars;
+    return workloads::run_flashio(config, nprocs, spec, true);
+  }
+  std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload = "tileio";
+  std::vector<std::string> procs{"64", "128", "256"};
+  std::vector<std::string> groups{"0", "auto"};
+  int steps = 2;
+  int nvars = 8;
+  bool bt_row_aggregators = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--procs") {
+      procs = split_list(next());
+    } else if (arg == "--groups") {
+      groups = split_list(next());
+    } else if (arg == "--steps") {
+      steps = std::stoi(next());
+    } else if (arg == "--nvars") {
+      nvars = std::stoi(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--workload tileio|ior|btio|flash] "
+                   "[--procs 64,128,...] [--groups 0,8,auto,...] "
+                   "[--steps N] [--nvars N]\n",
+                   argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  std::printf("workload,impl,nprocs,groups,groups_used,mode,bytes,"
+              "elapsed_s,bandwidth_mib,sync_share,io_share,rpcs,"
+              "lock_revocations\n");
+  for (const std::string& proc_str : procs) {
+    const int nprocs = std::stoi(proc_str);
+    for (const std::string& group_str : groups) {
+      RunSpec spec;
+      spec.byte_true = false;
+      std::string impl;
+      if (group_str == "0") {
+        spec.impl = Impl::Ext2ph;
+        impl = "ext2ph";
+      } else {
+        spec.impl = Impl::ParColl;
+        spec.parcoll_groups =
+            group_str == "auto" ? core::kAutoGroups : std::stoi(group_str);
+        impl = "parcoll";
+      }
+      if (workload == "btio" && bt_row_aggregators) {
+        spec.cb_nodes =
+            static_cast<int>(std::lround(std::sqrt(nprocs)));
+      }
+      const RunResult result = run_one(workload, nprocs, spec, steps, nvars);
+      const double total = result.sum.total();
+      std::printf("%s,%s,%d,%s,%d,%s,%llu,%.6f,%.1f,%.4f,%.4f,%llu,%llu\n",
+                  workload.c_str(), impl.c_str(), nprocs, group_str.c_str(),
+                  result.stats.last_num_groups,
+                  result.stats.view_switches ? "intermediate" : "direct",
+                  static_cast<unsigned long long>(result.bytes),
+                  result.elapsed, result.bandwidth_mib(),
+                  result.sum[mpi::TimeCat::Sync] / total,
+                  result.sum[mpi::TimeCat::IO] / total,
+                  static_cast<unsigned long long>(result.fs_rpcs),
+                  static_cast<unsigned long long>(result.fs_lock_switches));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
