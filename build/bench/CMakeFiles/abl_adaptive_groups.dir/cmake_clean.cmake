@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_adaptive_groups.dir/abl_adaptive_groups.cpp.o"
+  "CMakeFiles/abl_adaptive_groups.dir/abl_adaptive_groups.cpp.o.d"
+  "abl_adaptive_groups"
+  "abl_adaptive_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

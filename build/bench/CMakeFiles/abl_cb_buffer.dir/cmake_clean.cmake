@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cb_buffer.dir/abl_cb_buffer.cpp.o"
+  "CMakeFiles/abl_cb_buffer.dir/abl_cb_buffer.cpp.o.d"
+  "abl_cb_buffer"
+  "abl_cb_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cb_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_filesystems.dir/abl_filesystems.cpp.o"
+  "CMakeFiles/abl_filesystems.dir/abl_filesystems.cpp.o.d"
+  "abl_filesystems"
+  "abl_filesystems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_filesystems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

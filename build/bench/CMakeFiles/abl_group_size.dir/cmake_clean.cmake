@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_group_size.dir/abl_group_size.cpp.o"
+  "CMakeFiles/abl_group_size.dir/abl_group_size.cpp.o.d"
+  "abl_group_size"
+  "abl_group_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_group_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_intermediate_view.dir/abl_intermediate_view.cpp.o"
+  "CMakeFiles/abl_intermediate_view.dir/abl_intermediate_view.cpp.o.d"
+  "abl_intermediate_view"
+  "abl_intermediate_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_intermediate_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

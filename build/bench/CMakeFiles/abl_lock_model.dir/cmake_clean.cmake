@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_lock_model.dir/abl_lock_model.cpp.o"
+  "CMakeFiles/abl_lock_model.dir/abl_lock_model.cpp.o.d"
+  "abl_lock_model"
+  "abl_lock_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_lock_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

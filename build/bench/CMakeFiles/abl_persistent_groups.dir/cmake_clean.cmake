@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_persistent_groups.dir/abl_persistent_groups.cpp.o"
+  "CMakeFiles/abl_persistent_groups.dir/abl_persistent_groups.cpp.o.d"
+  "abl_persistent_groups"
+  "abl_persistent_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_persistent_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

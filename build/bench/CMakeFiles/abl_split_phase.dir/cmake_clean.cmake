@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_split_phase.dir/abl_split_phase.cpp.o"
+  "CMakeFiles/abl_split_phase.dir/abl_split_phase.cpp.o.d"
+  "abl_split_phase"
+  "abl_split_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_split_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_collective_wall.dir/fig01_collective_wall.cpp.o"
+  "CMakeFiles/fig01_collective_wall.dir/fig01_collective_wall.cpp.o.d"
+  "fig01_collective_wall"
+  "fig01_collective_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_collective_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

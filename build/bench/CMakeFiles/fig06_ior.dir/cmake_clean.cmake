@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ior.dir/fig06_ior.cpp.o"
+  "CMakeFiles/fig06_ior.dir/fig06_ior.cpp.o.d"
+  "fig06_ior"
+  "fig06_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_tileio_groups.dir/fig07_tileio_groups.cpp.o"
+  "CMakeFiles/fig07_tileio_groups.dir/fig07_tileio_groups.cpp.o.d"
+  "fig07_tileio_groups"
+  "fig07_tileio_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_tileio_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sync_reduction.dir/fig08_sync_reduction.cpp.o"
+  "CMakeFiles/fig08_sync_reduction.dir/fig08_sync_reduction.cpp.o.d"
+  "fig08_sync_reduction"
+  "fig08_sync_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sync_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_tileio_scalability.dir/fig09_tileio_scalability.cpp.o"
+  "CMakeFiles/fig09_tileio_scalability.dir/fig09_tileio_scalability.cpp.o.d"
+  "fig09_tileio_scalability"
+  "fig09_tileio_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_tileio_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

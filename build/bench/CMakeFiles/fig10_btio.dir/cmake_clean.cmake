@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_btio.dir/fig10_btio.cpp.o"
+  "CMakeFiles/fig10_btio.dir/fig10_btio.cpp.o.d"
+  "fig10_btio"
+  "fig10_btio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_btio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_flashio.dir/fig11_flashio.cpp.o"
+  "CMakeFiles/fig11_flashio.dir/fig11_flashio.cpp.o.d"
+  "fig11_flashio"
+  "fig11_flashio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_flashio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcoll_sim.dir/__/tools/parcoll_sim.cpp.o"
+  "CMakeFiles/parcoll_sim.dir/__/tools/parcoll_sim.cpp.o.d"
+  "parcoll_sim"
+  "parcoll_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcoll_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcoll_sweep.dir/__/tools/parcoll_sweep.cpp.o"
+  "CMakeFiles/parcoll_sweep.dir/__/tools/parcoll_sweep.cpp.o.d"
+  "parcoll_sweep"
+  "parcoll_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcoll_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

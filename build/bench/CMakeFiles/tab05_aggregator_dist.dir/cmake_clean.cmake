@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_aggregator_dist.dir/tab05_aggregator_dist.cpp.o"
+  "CMakeFiles/tab05_aggregator_dist.dir/tab05_aggregator_dist.cpp.o.d"
+  "tab05_aggregator_dist"
+  "tab05_aggregator_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_aggregator_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab05_aggregator_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(calibration_check "/root/repo/build/bench/calibration_check")
+set_tests_properties(calibration_check PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_tab05 "/root/repo/build/bench/tab05_aggregator_dist")
+set_tests_properties(bench_tab05 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;44;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(tool_parcoll_sim "/root/repo/build/bench/parcoll_sim" "--workload" "tileio" "--nprocs" "16" "--impl" "parcoll" "--groups" "auto")
+set_tests_properties(tool_parcoll_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(tool_parcoll_sweep "/root/repo/build/bench/parcoll_sweep" "--workload" "tileio" "--procs" "16" "--groups" "0,2")
+set_tests_properties(tool_parcoll_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;48;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_flash.dir/checkpoint_flash.cpp.o"
+  "CMakeFiles/checkpoint_flash.dir/checkpoint_flash.cpp.o.d"
+  "checkpoint_flash"
+  "checkpoint_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

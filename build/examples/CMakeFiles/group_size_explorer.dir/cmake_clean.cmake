@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_size_explorer.dir/group_size_explorer.cpp.o"
+  "CMakeFiles/group_size_explorer.dir/group_size_explorer.cpp.o.d"
+  "group_size_explorer"
+  "group_size_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_size_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_visualization.dir/tile_visualization.cpp.o"
+  "CMakeFiles/tile_visualization.dir/tile_visualization.cpp.o.d"
+  "tile_visualization"
+  "tile_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

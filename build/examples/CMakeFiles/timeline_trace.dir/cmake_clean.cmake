@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_trace.dir/timeline_trace.cpp.o"
+  "CMakeFiles/timeline_trace.dir/timeline_trace.cpp.o.d"
+  "timeline_trace"
+  "timeline_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

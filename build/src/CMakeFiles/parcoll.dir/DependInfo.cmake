@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregator_dist.cpp" "src/CMakeFiles/parcoll.dir/core/aggregator_dist.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/aggregator_dist.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/parcoll.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/file_area.cpp" "src/CMakeFiles/parcoll.dir/core/file_area.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/file_area.cpp.o.d"
+  "/root/repo/src/core/intermediate_view.cpp" "src/CMakeFiles/parcoll.dir/core/intermediate_view.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/intermediate_view.cpp.o.d"
+  "/root/repo/src/core/parcoll.cpp" "src/CMakeFiles/parcoll.dir/core/parcoll.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/parcoll.cpp.o.d"
+  "/root/repo/src/core/split.cpp" "src/CMakeFiles/parcoll.dir/core/split.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/split.cpp.o.d"
+  "/root/repo/src/core/subgroup.cpp" "src/CMakeFiles/parcoll.dir/core/subgroup.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/core/subgroup.cpp.o.d"
+  "/root/repo/src/dtype/datatype.cpp" "src/CMakeFiles/parcoll.dir/dtype/datatype.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/dtype/datatype.cpp.o.d"
+  "/root/repo/src/dtype/flatten.cpp" "src/CMakeFiles/parcoll.dir/dtype/flatten.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/dtype/flatten.cpp.o.d"
+  "/root/repo/src/dtype/pack.cpp" "src/CMakeFiles/parcoll.dir/dtype/pack.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/dtype/pack.cpp.o.d"
+  "/root/repo/src/dtype/segments.cpp" "src/CMakeFiles/parcoll.dir/dtype/segments.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/dtype/segments.cpp.o.d"
+  "/root/repo/src/fs/lustre.cpp" "src/CMakeFiles/parcoll.dir/fs/lustre.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/fs/lustre.cpp.o.d"
+  "/root/repo/src/fs/object_store.cpp" "src/CMakeFiles/parcoll.dir/fs/object_store.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/fs/object_store.cpp.o.d"
+  "/root/repo/src/fs/ost.cpp" "src/CMakeFiles/parcoll.dir/fs/ost.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/fs/ost.cpp.o.d"
+  "/root/repo/src/fs/range_lock.cpp" "src/CMakeFiles/parcoll.dir/fs/range_lock.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/fs/range_lock.cpp.o.d"
+  "/root/repo/src/fs/stripe.cpp" "src/CMakeFiles/parcoll.dir/fs/stripe.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/fs/stripe.cpp.o.d"
+  "/root/repo/src/h5lite/h5lite.cpp" "src/CMakeFiles/parcoll.dir/h5lite/h5lite.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/h5lite/h5lite.cpp.o.d"
+  "/root/repo/src/machine/machine_model.cpp" "src/CMakeFiles/parcoll.dir/machine/machine_model.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/machine/machine_model.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "src/CMakeFiles/parcoll.dir/machine/topology.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/machine/topology.cpp.o.d"
+  "/root/repo/src/mpi/collectives.cpp" "src/CMakeFiles/parcoll.dir/mpi/collectives.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpi/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/parcoll.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/CMakeFiles/parcoll.dir/mpi/p2p.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpi/p2p.cpp.o.d"
+  "/root/repo/src/mpi/runtime.cpp" "src/CMakeFiles/parcoll.dir/mpi/runtime.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpi/runtime.cpp.o.d"
+  "/root/repo/src/mpi/timecat.cpp" "src/CMakeFiles/parcoll.dir/mpi/timecat.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpi/timecat.cpp.o.d"
+  "/root/repo/src/mpi/trace.cpp" "src/CMakeFiles/parcoll.dir/mpi/trace.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpi/trace.cpp.o.d"
+  "/root/repo/src/mpiio/async.cpp" "src/CMakeFiles/parcoll.dir/mpiio/async.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/async.cpp.o.d"
+  "/root/repo/src/mpiio/ext2ph.cpp" "src/CMakeFiles/parcoll.dir/mpiio/ext2ph.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/ext2ph.cpp.o.d"
+  "/root/repo/src/mpiio/file.cpp" "src/CMakeFiles/parcoll.dir/mpiio/file.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/file.cpp.o.d"
+  "/root/repo/src/mpiio/hints.cpp" "src/CMakeFiles/parcoll.dir/mpiio/hints.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/hints.cpp.o.d"
+  "/root/repo/src/mpiio/independent.cpp" "src/CMakeFiles/parcoll.dir/mpiio/independent.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/independent.cpp.o.d"
+  "/root/repo/src/mpiio/sieve.cpp" "src/CMakeFiles/parcoll.dir/mpiio/sieve.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/sieve.cpp.o.d"
+  "/root/repo/src/mpiio/stats.cpp" "src/CMakeFiles/parcoll.dir/mpiio/stats.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/stats.cpp.o.d"
+  "/root/repo/src/mpiio/view.cpp" "src/CMakeFiles/parcoll.dir/mpiio/view.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/mpiio/view.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/parcoll.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/net/network.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/parcoll.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/fiber.cpp" "src/CMakeFiles/parcoll.dir/sim/fiber.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/sim/fiber.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/parcoll.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/sim/random.cpp.o.d"
+  "/root/repo/src/workloads/btio.cpp" "src/CMakeFiles/parcoll.dir/workloads/btio.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/workloads/btio.cpp.o.d"
+  "/root/repo/src/workloads/flashio.cpp" "src/CMakeFiles/parcoll.dir/workloads/flashio.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/workloads/flashio.cpp.o.d"
+  "/root/repo/src/workloads/ior.cpp" "src/CMakeFiles/parcoll.dir/workloads/ior.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/workloads/ior.cpp.o.d"
+  "/root/repo/src/workloads/pattern.cpp" "src/CMakeFiles/parcoll.dir/workloads/pattern.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/workloads/pattern.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/CMakeFiles/parcoll.dir/workloads/runner.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/workloads/runner.cpp.o.d"
+  "/root/repo/src/workloads/tileio.cpp" "src/CMakeFiles/parcoll.dir/workloads/tileio.cpp.o" "gcc" "src/CMakeFiles/parcoll.dir/workloads/tileio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

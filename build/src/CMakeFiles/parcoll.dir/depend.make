@@ -1,0 +1,2 @@
+# Empty dependencies file for parcoll.
+# This may be replaced when dependencies are built.

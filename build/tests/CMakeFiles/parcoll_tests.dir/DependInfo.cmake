@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_and_cb.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_adaptive_and_cb.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_adaptive_and_cb.cpp.o.d"
+  "/root/repo/tests/test_aggregator_dist.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_aggregator_dist.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_aggregator_dist.cpp.o.d"
+  "/root/repo/tests/test_async_atomic.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_async_atomic.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_async_atomic.cpp.o.d"
+  "/root/repo/tests/test_collectives_extended.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_collectives_extended.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_collectives_extended.cpp.o.d"
+  "/root/repo/tests/test_darray_filepointer.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_darray_filepointer.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_darray_filepointer.cpp.o.d"
+  "/root/repo/tests/test_datatype.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_datatype.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_datatype.cpp.o.d"
+  "/root/repo/tests/test_ext2ph.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_ext2ph.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_ext2ph.cpp.o.d"
+  "/root/repo/tests/test_ext2ph_edge.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_ext2ph_edge.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_ext2ph_edge.cpp.o.d"
+  "/root/repo/tests/test_fiber.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_fiber.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_fiber.cpp.o.d"
+  "/root/repo/tests/test_file_area.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_file_area.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_file_area.cpp.o.d"
+  "/root/repo/tests/test_fs.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_fs.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_fs.cpp.o.d"
+  "/root/repo/tests/test_h5lite.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_h5lite.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_h5lite.cpp.o.d"
+  "/root/repo/tests/test_intermediate_view.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_intermediate_view.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_intermediate_view.cpp.o.d"
+  "/root/repo/tests/test_ior_options.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_ior_options.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_ior_options.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_model_sanity.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_model_sanity.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_model_sanity.cpp.o.d"
+  "/root/repo/tests/test_mpi_collectives.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_mpi_collectives.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_mpi_collectives.cpp.o.d"
+  "/root/repo/tests/test_mpi_p2p.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_mpi_p2p.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_mpi_p2p.cpp.o.d"
+  "/root/repo/tests/test_mpiio_file.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_mpiio_file.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_mpiio_file.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_overlap_deferred.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_overlap_deferred.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_overlap_deferred.cpp.o.d"
+  "/root/repo/tests/test_parcoll.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_parcoll.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_parcoll.cpp.o.d"
+  "/root/repo/tests/test_property_random.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_property_random.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_property_random.cpp.o.d"
+  "/root/repo/tests/test_runtime.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_runtime.cpp.o.d"
+  "/root/repo/tests/test_segments_flatten_pack.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_segments_flatten_pack.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_segments_flatten_pack.cpp.o.d"
+  "/root/repo/tests/test_sieve.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_sieve.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_sieve.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_split_modes_shared.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_split_modes_shared.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_split_modes_shared.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_view.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_view.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_view.cpp.o.d"
+  "/root/repo/tests/test_workload_equivalence.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_workload_equivalence.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_workload_equivalence.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/parcoll_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/parcoll_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/parcoll.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
