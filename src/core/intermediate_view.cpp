@@ -78,8 +78,11 @@ void IntermediateTarget::write(mpi::Rank& self,
                                const std::byte* data) {
   const auto physical = translate_all(extents);
   const double start = self.now();
-  fs_.write(self.rank(), file_id_, physical, data);
-  self.times().add(mpi::TimeCat::IO, self.now() - start);
+  const fs::IoResult r = fs_.write(self.rank(), file_id_, physical, data);
+  self.times().add(mpi::TimeCat::IO, self.now() - start - r.faulted_seconds);
+  if (r.faulted_seconds > 0) {
+    self.times().add(mpi::TimeCat::Faulted, r.faulted_seconds);
+  }
 }
 
 void IntermediateTarget::read(mpi::Rank& self,
@@ -87,8 +90,11 @@ void IntermediateTarget::read(mpi::Rank& self,
                               std::byte* out) {
   const auto physical = translate_all(extents);
   const double start = self.now();
-  fs_.read(self.rank(), file_id_, physical, out);
-  self.times().add(mpi::TimeCat::IO, self.now() - start);
+  const fs::IoResult r = fs_.read(self.rank(), file_id_, physical, out);
+  self.times().add(mpi::TimeCat::IO, self.now() - start - r.faulted_seconds);
+  if (r.faulted_seconds > 0) {
+    self.times().add(mpi::TimeCat::Faulted, r.faulted_seconds);
+  }
 }
 
 }  // namespace parcoll::core

@@ -132,6 +132,24 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   outcome.num_groups = plan.fa.num_groups;
   options.aggregators = plan.sub_aggregators;
 
+  // Degraded mode: when the fault plan schedules rank stalls, the subgroup
+  // agrees on a common time (a max-reduction over its members' clocks) and
+  // replaces any aggregator stalled past the threshold for this call. The
+  // cached roster is never mutated: a recovered aggregator is reinstated
+  // on the next call. Gated on has_rank_stalls() so the extra reduction
+  // cannot perturb fault-free timing.
+  const fault::FaultPlan* fplan = self.world().fault_plan();
+  if (fplan != nullptr && fplan->has_rank_stalls()) {
+    const double agreed = mpi::allreduce_max(self, plan.subcomm, self.now());
+    int replaced = 0;
+    options.aggregators = reelect_stalled_aggregators(
+        plan.subcomm, plan.sub_aggregators, *fplan, agreed, &replaced);
+    if (replaced > 0 && plan.subcomm.local_rank(self.rank()) == 0) {
+      self.world().fault_state().of(self.rank()).reelections +=
+          static_cast<std::uint64_t>(replaced);
+    }
+  }
+
   if (plan.fa.mode == PartitionMode::SingleGroup) {
     mpiio::DirectTarget target(fs, fs_id);
     const mpiio::CollRequest request{prep.extents, prep.data()};
@@ -193,6 +211,19 @@ CollectiveOutcome run_partitioned(mpiio::FileHandle& file,
                                file.fs_id(), prep, is_write,
                                &file.engine_cache());
 }
+
+/// Attribute this rank's degraded-mode events during one collective call
+/// to the call's stats delta. Valid because a rank's counters only change
+/// while its own fiber runs.
+void record_fault_delta(mpiio::FileStats& delta,
+                        const fault::FaultCounters& before,
+                        const fault::FaultCounters& after) {
+  delta.fault_retries = after.retries - before.retries;
+  delta.fault_failovers = after.failovers - before.failovers;
+  delta.fault_drops = after.drops - before.drops;
+  delta.fault_reelections = after.reelections - before.reelections;
+  delta.fault_stalls = after.stalls - before.stalls;
+}
 }  // namespace
 
 CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
@@ -200,12 +231,16 @@ CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
                                const dtype::Datatype& memtype) {
   file.require_writable();
   const auto before = file.time_snapshot();
+  const fault::FaultCounters faults_before =
+      file.self().world().fault_counters(file.self().rank());
   mpiio::PreparedRequest prep =
       file.prepare_write(offset, buffer, count, memtype);
   const CollectiveOutcome outcome = run_partitioned(file, prep, true);
 
   mpiio::FileStats delta;
   delta.time = mpiio::FileHandle::time_delta(before, file.time_snapshot());
+  record_fault_delta(delta, faults_before,
+                     file.self().world().fault_counters(file.self().rank()));
   delta.bytes_written = outcome.bytes;
   delta.exchange_cycles = outcome.cycles;
   delta.rmw_reads = outcome.rmw_reads;
@@ -227,6 +262,8 @@ CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
                               const dtype::Datatype& memtype) {
   file.require_readable();
   const auto before = file.time_snapshot();
+  const fault::FaultCounters faults_before =
+      file.self().world().fault_counters(file.self().rank());
   mpiio::PreparedRequest prep =
       file.prepare_read(offset, buffer, count, memtype);
   const CollectiveOutcome outcome = run_partitioned(file, prep, false);
@@ -234,6 +271,8 @@ CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
 
   mpiio::FileStats delta;
   delta.time = mpiio::FileHandle::time_delta(before, file.time_snapshot());
+  record_fault_delta(delta, faults_before,
+                     file.self().world().fault_counters(file.self().rank()));
   delta.bytes_read = outcome.bytes;
   delta.exchange_cycles = outcome.cycles;
   delta.rmw_reads = outcome.rmw_reads;

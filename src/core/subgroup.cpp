@@ -64,4 +64,42 @@ SubgroupPlan form_subgroups(mpi::Rank& self, const mpi::Comm& comm,
   return plan;
 }
 
+std::vector<int> reelect_stalled_aggregators(
+    const mpi::Comm& subcomm, const std::vector<int>& sub_aggregators,
+    const fault::FaultPlan& plan, double agreed_now, int* replaced) {
+  if (replaced != nullptr) {
+    *replaced = 0;
+  }
+  auto stalled = [&](int sub_local) {
+    return plan.stall_remaining(subcomm.world_rank(sub_local), agreed_now) >
+           plan.agg_stall_threshold;
+  };
+  std::vector<int> roster = sub_aggregators;
+  std::vector<char> is_agg(static_cast<std::size_t>(subcomm.size()), 0);
+  for (int agg : roster) {
+    is_agg[static_cast<std::size_t>(agg)] = 1;
+  }
+  for (int& agg : roster) {
+    if (!stalled(agg)) {
+      continue;
+    }
+    // Lowest healthy non-aggregator local rank substitutes — the same
+    // deterministic choice on every member of the subgroup.
+    for (int candidate = 0; candidate < subcomm.size(); ++candidate) {
+      if (is_agg[static_cast<std::size_t>(candidate)] || stalled(candidate)) {
+        continue;
+      }
+      is_agg[static_cast<std::size_t>(agg)] = 0;
+      is_agg[static_cast<std::size_t>(candidate)] = 1;
+      agg = candidate;
+      if (replaced != nullptr) {
+        ++*replaced;
+      }
+      break;
+    }
+  }
+  std::sort(roster.begin(), roster.end());
+  return roster;
+}
+
 }  // namespace parcoll::core

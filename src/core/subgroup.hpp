@@ -31,4 +31,16 @@ SubgroupPlan form_subgroups(mpi::Rank& self, const mpi::Comm& comm,
                             const std::vector<RankAccess>& accesses,
                             const mpiio::Hints& hints);
 
+/// Degraded-mode aggregator re-election: replace every aggregator whose
+/// remaining scheduled stall at `agreed_now` exceeds
+/// plan.agg_stall_threshold by the first healthy non-aggregator member of
+/// the subgroup (falling back to keeping the stalled one when no healthy
+/// substitute exists). `sub_aggregators` and the result are subcomm-local
+/// ranks. Pure function of its arguments, so every subgroup member that
+/// calls it with the same agreed time computes the identical roster;
+/// `replaced` (optional) receives the number of substitutions.
+std::vector<int> reelect_stalled_aggregators(
+    const mpi::Comm& subcomm, const std::vector<int>& sub_aggregators,
+    const fault::FaultPlan& plan, double agreed_now, int* replaced = nullptr);
+
 }  // namespace parcoll::core

@@ -62,7 +62,8 @@ const FileMeta& LustreSim::meta(int file_id) const {
 
 double LustreSim::submit(int client, int file_id,
                          std::span<const Extent> extents, const std::byte* in,
-                         std::byte* out, bool is_write) {
+                         std::byte* out, bool is_write,
+                         double& faulted_seconds) {
   const FileMeta& file = meta(file_id);
   double last_completion = engine_.now();
 
@@ -82,10 +83,63 @@ double LustreSim::submit(int client, int file_id,
     if (rpc.bytes == 0) return;
     // Client CPU to build and issue the RPC.
     engine_.sleep(params_.client_rpc_overhead);
-    const double done = osts_[static_cast<std::size_t>(ost_index)].serve(
-        engine_.now(), file_id, client, rpc.lock_lo, rpc.lock_hi, rpc.bytes,
-        is_write, rpc.fragments);
-    last_completion = std::max(last_completion, done);
+    if (fault_plan_ == nullptr) {
+      const ServeOutcome outcome =
+          osts_[static_cast<std::size_t>(ost_index)].serve(
+              engine_.now(), file_id, client, rpc.lock_lo, rpc.lock_hi,
+              rpc.bytes, is_write, rpc.fragments);
+      last_completion = std::max(last_completion, outcome.done);
+      rpc = PendingRpc{};
+      return;
+    }
+    // Degraded mode: detect a swallowed RPC after the timeout, resend with
+    // capped exponential backoff, and after the retry budget is exhausted
+    // fail over to the next surviving OST. Data already sits in the
+    // ObjectStore (written in the chunk loop), so failover only redirects
+    // the *timing* of service — stripe placement of bytes is unchanged,
+    // matching a degraded Lustre client writing through a backup target.
+    int target = ost_index;
+    int attempt = 0;
+    int hops = 0;
+    for (;;) {
+      // After a full lap over the OSTs, force service so pathological
+      // plans (every target down forever) cannot hang the simulation.
+      const bool force = hops >= params_.num_osts;
+      const ServeOutcome outcome =
+          osts_[static_cast<std::size_t>(target)].serve(
+              engine_.now(), file_id, client, rpc.lock_lo, rpc.lock_hi,
+              rpc.bytes, is_write, rpc.fragments, force);
+      if (outcome.ok) {
+        last_completion = std::max(last_completion, outcome.done);
+        break;
+      }
+      const double wait =
+          fault_plan_->retry.timeout + fault_plan_->backoff(attempt);
+      engine_.sleep(wait);
+      faulted_seconds += wait;
+      fault::FaultCounters& mine = fault_state_->of(client);
+      mine.faulted_seconds += wait;
+      if (attempt < fault_plan_->retry.max_retries) {
+        ++attempt;
+        ++mine.retries;
+        continue;
+      }
+      // Retry budget exhausted on this target: fail over to the next OST
+      // that is up right now (or the neighbour, if all are down — time
+      // advances each lap, so finite outage windows eventually pass).
+      int next = (target + 1) % params_.num_osts;
+      for (int probe = 0; probe < params_.num_osts; ++probe) {
+        const int candidate = (target + 1 + probe) % params_.num_osts;
+        if (!fault_plan_->ost_down(candidate, engine_.now())) {
+          next = candidate;
+          break;
+        }
+      }
+      target = next;
+      attempt = 0;
+      ++hops;
+      ++mine.failovers;
+    }
     rpc = PendingRpc{};
   };
 
@@ -145,16 +199,32 @@ double LustreSim::submit(int client, int file_id,
   return last_completion;
 }
 
-void LustreSim::write(int client, int file_id, std::span<const Extent> extents,
-                      const std::byte* data) {
-  const double done = submit(client, file_id, extents, data, nullptr, true);
+IoResult LustreSim::write(int client, int file_id,
+                          std::span<const Extent> extents,
+                          const std::byte* data) {
+  IoResult result;
+  const double done = submit(client, file_id, extents, data, nullptr, true,
+                             result.faulted_seconds);
   engine_.sleep_until(done);
+  return result;
 }
 
-void LustreSim::read(int client, int file_id, std::span<const Extent> extents,
-                     std::byte* out) {
-  const double done = submit(client, file_id, extents, nullptr, out, false);
+IoResult LustreSim::read(int client, int file_id,
+                         std::span<const Extent> extents, std::byte* out) {
+  IoResult result;
+  const double done = submit(client, file_id, extents, nullptr, out, false,
+                             result.faulted_seconds);
   engine_.sleep_until(done);
+  return result;
+}
+
+void LustreSim::set_fault(const fault::FaultPlan* plan,
+                          fault::FaultState* state) {
+  fault_plan_ = plan;
+  fault_state_ = state;
+  for (OstModel& ost : osts_) {
+    ost.set_fault(plan, state);
+  }
 }
 
 std::uint64_t LustreSim::total_rpcs() const {

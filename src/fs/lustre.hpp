@@ -38,6 +38,14 @@ struct FileMeta {
   int ost_start = 0;  // stripe index i lives on OST (ost_start + i) % num_osts
 };
 
+/// Degraded-mode outcome of one client I/O call. `faulted_seconds` is the
+/// virtual time this client spent in timeouts and retry backoff during the
+/// call (0 on the fault-free path), so callers can charge it to
+/// TimeCat::Faulted instead of TimeCat::IO.
+struct IoResult {
+  double faulted_seconds = 0.0;
+};
+
 class LustreSim {
  public:
   LustreSim(sim::Engine& engine, const machine::StorageParams& params,
@@ -60,12 +68,15 @@ class LustreSim {
 
   /// Write the extent list. `data` is the concatenated payload (or nullptr).
   /// Blocks the calling fiber until the last RPC completes.
-  void write(int client, int file_id, std::span<const Extent> extents,
-             const std::byte* data);
+  IoResult write(int client, int file_id, std::span<const Extent> extents,
+                 const std::byte* data);
 
   /// Read the extent list into `out` (concatenated; nullptr allowed).
-  void read(int client, int file_id, std::span<const Extent> extents,
-            std::byte* out);
+  IoResult read(int client, int file_id, std::span<const Extent> extents,
+                std::byte* out);
+
+  /// Attach a fault plan; forwarded to every OST (nulls detach).
+  void set_fault(const fault::FaultPlan* plan, fault::FaultState* state);
 
   [[nodiscard]] std::uint64_t file_size(int file_id) const {
     return store_->size(file_id);
@@ -83,9 +94,12 @@ class LustreSim {
 
  private:
   double submit(int client, int file_id, std::span<const Extent> extents,
-                const std::byte* in, std::byte* out, bool is_write);
+                const std::byte* in, std::byte* out, bool is_write,
+                double& faulted_seconds);
 
   sim::Engine& engine_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::FaultState* fault_state_ = nullptr;
   machine::StorageParams params_;
   RangeLockManager range_locks_;
   std::unique_ptr<ObjectStore> store_;

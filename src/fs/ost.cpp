@@ -111,10 +111,32 @@ double OstModel::acquire_write_lock(GrantMap& grants, int client,
   return cost;
 }
 
-double OstModel::serve(double ready, int file_id, int client,
-                       std::uint64_t lock_lo, std::uint64_t lock_hi,
-                       std::uint64_t bytes, bool is_write,
-                       std::uint64_t fragments) {
+ServeOutcome OstModel::serve(double ready, int file_id, int client,
+                             std::uint64_t lock_lo, std::uint64_t lock_hi,
+                             std::uint64_t bytes, bool is_write,
+                             std::uint64_t fragments, bool force) {
+  double delay = 0.0;
+  if (fault_plan_ != nullptr && !force) {
+    // A request swallowed by a fault leaves no trace on the OST: no busy
+    // time reserved, no request_seq_ advance — only the draw counter moves,
+    // so a retry of the same RPC gets fresh randomness.
+    if (fault_plan_->ost_down(id_, ready)) {
+      return {ready, false};
+    }
+    const std::uint64_t draw = fault_draws_++;
+    if (fault_plan_->drop_rpc(id_, draw)) {
+      if (fault_state_ != nullptr) {
+        ++fault_state_->of(client).drops;
+      }
+      return {ready, false};
+    }
+    if (fault_plan_->delay_rpc(id_, draw)) {
+      delay = fault_plan_->rpc_delay_seconds;
+      if (fault_state_ != nullptr) {
+        ++fault_state_->of(client).delays;
+      }
+    }
+  }
   const double start = std::max(ready, busy_until_);
   double service = params_.request_overhead +
                    static_cast<double>(bytes) / params_.ost_bandwidth;
@@ -126,13 +148,17 @@ double OstModel::serve(double ready, int file_id, int client,
                                       request_seq_);
   service *= 1.0 + params_.jitter_frac * jitter;
   service *= slowdown(start);
+  if (fault_plan_ != nullptr && !force) {
+    service *= fault_plan_->degrade_factor(id_, start);
+    service += delay;
+  }
   if (is_write) {
     service += acquire_write_lock(grants_by_file_[file_id], client, lock_lo,
                                   lock_hi, bytes);
   }
   ++request_seq_;
   busy_until_ = start + service;
-  return busy_until_;
+  return {busy_until_, true};
 }
 
 }  // namespace parcoll::fs

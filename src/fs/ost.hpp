@@ -28,9 +28,18 @@
 #include <map>
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "machine/machine_model.hpp"
 
 namespace parcoll::fs {
+
+/// Result of one RPC service attempt. `ok` is false when a fault swallowed
+/// the request (OST outage or random drop): the OST never saw it, `done`
+/// echoes the arrival time, and the client's timeout machinery takes over.
+struct ServeOutcome {
+  double done = 0.0;
+  bool ok = true;
+};
 
 class OstModel {
  public:
@@ -41,10 +50,18 @@ class OstModel {
   /// span the object range [lock_lo, lock_hi) of `file_id` (Lustre BRW
   /// RPCs carry discontiguous pages, so the locked span can exceed the
   /// payload), from `client`, arriving at `ready`. Returns the completion
-  /// time.
-  double serve(double ready, int file_id, int client, std::uint64_t lock_lo,
-               std::uint64_t lock_hi, std::uint64_t bytes, bool is_write,
-               std::uint64_t fragments = 1);
+  /// time and whether the request was accepted; `force` serves even under
+  /// an active fault (the last-resort path that guarantees progress).
+  ServeOutcome serve(double ready, int file_id, int client,
+                     std::uint64_t lock_lo, std::uint64_t lock_hi,
+                     std::uint64_t bytes, bool is_write,
+                     std::uint64_t fragments = 1, bool force = false);
+
+  /// Attach a fault plan (both pointers may be null to detach).
+  void set_fault(const fault::FaultPlan* plan, fault::FaultState* state) {
+    fault_plan_ = plan;
+    fault_state_ = state;
+  }
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] std::uint64_t rpcs_served() const { return request_seq_; }
@@ -75,6 +92,9 @@ class OstModel {
   std::uint64_t request_seq_ = 0;
   std::uint64_t lock_switches_ = 0;
   std::unordered_map<int, GrantMap> grants_by_file_;
+  const fault::FaultPlan* fault_plan_ = nullptr;
+  fault::FaultState* fault_state_ = nullptr;
+  std::uint64_t fault_draws_ = 0;  // monotone: retries get fresh randomness
 };
 
 }  // namespace parcoll::fs

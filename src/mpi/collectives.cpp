@@ -140,6 +140,7 @@ void barrier(Rank& self, const Comm& comm) {
 std::shared_ptr<const CollContribs> coll_run(Rank& self, const Comm& comm,
                                              CollKind kind,
                                              std::vector<std::byte> contribution) {
+  self.maybe_fault_stall();
   return self.world().colls().exchange(self, comm, kind, std::move(contribution));
 }
 

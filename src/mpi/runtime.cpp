@@ -61,6 +61,38 @@ Tracer& World::enable_tracing() {
   return *tracer_;
 }
 
+void World::set_fault(const fault::FaultPlan& plan) {
+  if (ran_) {
+    throw std::logic_error("World::set_fault: install the plan before run()");
+  }
+  if (plan.empty()) {
+    return;  // keep every hook a plain null-pointer check
+  }
+  fault_plan_ = std::make_unique<fault::FaultPlan>(plan);
+  fs_->set_fault(fault_plan_.get(), &fault_state_);
+}
+
+void Rank::maybe_fault_stall() {
+  const fault::FaultPlan* plan = world_.fault_plan();
+  if (plan == nullptr || plan->stalls.empty()) {
+    return;
+  }
+  if (stalls_applied_.size() < plan->stalls.size()) {
+    stalls_applied_.resize(plan->stalls.size(), 0);
+  }
+  for (std::size_t i = 0; i < plan->stalls.size(); ++i) {
+    const fault::RankStall& stall = plan->stalls[i];
+    if (stalls_applied_[i] != 0 || stall.rank != rank_ || now() < stall.at) {
+      continue;
+    }
+    stalls_applied_[i] = 1;
+    busy(TimeCat::Faulted, stall.duration);
+    fault::FaultCounters& mine = world_.fault_state().of(rank_);
+    ++mine.stalls;
+    mine.faulted_seconds += stall.duration;
+  }
+}
+
 void Rank::busy(TimeCat cat, double seconds) {
   world_.engine().sleep(seconds);
   times_.add(cat, seconds);

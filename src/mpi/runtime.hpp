@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "machine/machine_model.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/timecat.hpp"
@@ -69,6 +70,18 @@ class World {
   Tracer& enable_tracing();
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
 
+  /// Install a fault plan (call before run()). An empty plan is never
+  /// installed, so the fault-free path stays free of fault bookkeeping.
+  void set_fault(const fault::FaultPlan& plan);
+  [[nodiscard]] const fault::FaultPlan* fault_plan() const {
+    return fault_plan_.get();
+  }
+  [[nodiscard]] fault::FaultState& fault_state() { return fault_state_; }
+  /// Rank-local fault counters ({} when no plan is installed).
+  [[nodiscard]] fault::FaultCounters fault_counters(int rank) const {
+    return fault_state_.of(rank);
+  }
+
   /// Per-rank time breakdowns (valid after run()).
   [[nodiscard]] const std::vector<TimeBreakdown>& rank_times() const {
     return rank_times_;
@@ -98,6 +111,8 @@ class World {
   std::vector<TimeBreakdown> rank_times_;
   std::unordered_map<std::string, std::shared_ptr<void>> objects_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<fault::FaultPlan> fault_plan_;
+  fault::FaultState fault_state_;
   double elapsed_ = 0.0;
   bool ran_ = false;
   bool byte_true_ = true;
@@ -136,12 +151,18 @@ class Rank {
     return coll_seq_[context_id]++;
   }
 
+  /// Apply any scheduled fault-plan stall for this rank that is due at the
+  /// current virtual time. Called at synchronization points; each scheduled
+  /// stall fires at most once. No-op without an installed plan.
+  void maybe_fault_stall();
+
  private:
   World& world_;
   int rank_;
   sim::ProcId pid_;
   TimeAccount times_;
   std::unordered_map<std::uint64_t, std::uint64_t> coll_seq_;
+  std::vector<char> stalls_applied_;
 };
 
 }  // namespace parcoll::mpi

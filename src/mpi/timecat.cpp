@@ -21,6 +21,8 @@ const char* to_string(TimeCat cat) {
       return "sync";
     case TimeCat::IO:
       return "io";
+    case TimeCat::Faulted:
+      return "faulted";
   }
   return "?";
 }

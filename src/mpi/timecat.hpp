@@ -16,8 +16,9 @@ enum class TimeCat : std::size_t {
   P2P = 1,      // blocked in send/recv/wait (data exchange phases)
   Sync = 2,     // blocked in collective operations (the collective wall)
   IO = 3,       // blocked in file-system reads/writes
+  Faulted = 4,  // degraded mode: RPC timeouts, retry backoff, rank stalls
 };
-inline constexpr std::size_t kNumTimeCats = 4;
+inline constexpr std::size_t kNumTimeCats = 5;
 
 struct TimeBreakdown {
   std::array<double, kNumTimeCats> seconds{};

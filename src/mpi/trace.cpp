@@ -45,9 +45,10 @@ std::string Tracer::gantt(int width, int max_ranks) const {
     }
   }
 
-  static constexpr char kGlyph[kNumTimeCats] = {'c', 'p', 'S', 'I'};
+  static constexpr char kGlyph[kNumTimeCats] = {'c', 'p', 'S', 'I', 'F'};
   std::ostringstream os;
-  os << "time 0.." << horizon << "s  (c=compute p=p2p S=sync I=io .=idle)\n";
+  os << "time 0.." << horizon
+     << "s  (c=compute p=p2p S=sync I=io F=faulted .=idle)\n";
   for (int r = 0; r < rows; ++r) {
     os << "r";
     os.width(4);

@@ -292,15 +292,21 @@ WindowWork gather_window_work(const Plan& plan,
 void DirectTarget::write(mpi::Rank& self, std::span<const fs::Extent> extents,
                          const std::byte* data) {
   const double start = self.now();
-  fs_.write(self.rank(), file_id_, extents, data);
-  self.times().add(mpi::TimeCat::IO, self.now() - start);
+  const fs::IoResult r = fs_.write(self.rank(), file_id_, extents, data);
+  self.times().add(mpi::TimeCat::IO, self.now() - start - r.faulted_seconds);
+  if (r.faulted_seconds > 0) {
+    self.times().add(mpi::TimeCat::Faulted, r.faulted_seconds);
+  }
 }
 
 void DirectTarget::read(mpi::Rank& self, std::span<const fs::Extent> extents,
                         std::byte* out) {
   const double start = self.now();
-  fs_.read(self.rank(), file_id_, extents, out);
-  self.times().add(mpi::TimeCat::IO, self.now() - start);
+  const fs::IoResult r = fs_.read(self.rank(), file_id_, extents, out);
+  self.times().add(mpi::TimeCat::IO, self.now() - start - r.faulted_seconds);
+  if (r.faulted_seconds > 0) {
+    self.times().add(mpi::TimeCat::Faulted, r.faulted_seconds);
+  }
 }
 
 std::vector<int> default_aggregators(const machine::Topology& topology,

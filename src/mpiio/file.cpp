@@ -20,6 +20,9 @@ FileHandle::FileHandle(mpi::Rank& self, const mpi::Comm& comm,
     throw std::invalid_argument(
         "FileHandle: exactly one of RDONLY/WRONLY/RDWR must be given");
   }
+  // Reject impossible hints up front, before any simulated time is spent
+  // (pure CPU check: identical on every rank, no communication).
+  hints.validate(comm.size());
   auto& fs = self.world().fs();
   const bool existed = fs.exists(name);
   if ((amode & kModeCreate) && (amode & kModeExcl) && existed) {

@@ -30,6 +30,10 @@ std::string format_int_list(const std::vector<int>& values) {
 void Hints::set(const std::string& key, const std::string& value) {
   if (key == "cb_buffer_size") {
     cb_buffer_size = std::stoull(value);
+    if (cb_buffer_size == 0) {
+      throw std::invalid_argument(
+          "Hints::set: cb_buffer_size must be positive (got 0)");
+    }
   } else if (key == "cb_nodes") {
     cb_nodes = std::stoi(value);
   } else if (key == "cb_node_list") {
@@ -53,15 +57,58 @@ void Hints::set(const std::string& key, const std::string& value) {
   } else if (key == "romio_no_indep_rw") {
     no_indep_rw = (value == "true" || value == "1" || value == "enable");
   } else if (key == "parcoll_num_groups") {
-    parcoll_num_groups = value == "auto" ? -1 : std::stoi(value);
+    if (value == "auto") {
+      parcoll_num_groups = -1;
+    } else {
+      const int groups = std::stoi(value);
+      if (groups <= 0) {
+        // Via the string interface the documented spellings are a positive
+        // count or "auto"; leave the struct default (0) to disable.
+        throw std::invalid_argument(
+            "Hints::set: parcoll_num_groups must be a positive count or "
+            "\"auto\" (got " + value + ")");
+      }
+      parcoll_num_groups = groups;
+    }
   } else if (key == "parcoll_min_group_size") {
     parcoll_min_group_size = std::stoi(value);
+    if (parcoll_min_group_size < 1) {
+      throw std::invalid_argument(
+          "Hints::set: parcoll_min_group_size must be >= 1 (got " + value +
+          ")");
+    }
   } else if (key == "parcoll_view_switch") {
     parcoll_view_switch = (value == "true" || value == "1");
   } else if (key == "parcoll_persistent_groups") {
     parcoll_persistent_groups = (value == "true" || value == "1");
   } else {
     throw std::invalid_argument("Hints::set: unknown hint key: " + key);
+  }
+}
+
+void Hints::validate(int comm_size) const {
+  if (cb_buffer_size == 0) {
+    throw std::invalid_argument("Hints: cb_buffer_size must be positive");
+  }
+  if (parcoll_num_groups < -1) {
+    throw std::invalid_argument(
+        "Hints: parcoll_num_groups must be a positive count, 0 (disabled), "
+        "or -1/\"auto\" (got " + std::to_string(parcoll_num_groups) + ")");
+  }
+  if (parcoll_num_groups > comm_size) {
+    throw std::invalid_argument(
+        "Hints: parcoll_num_groups (" + std::to_string(parcoll_num_groups) +
+        ") exceeds the communicator size (" + std::to_string(comm_size) +
+        ")");
+  }
+  if (parcoll_min_group_size < 1) {
+    throw std::invalid_argument(
+        "Hints: parcoll_min_group_size must be >= 1 (got " +
+        std::to_string(parcoll_min_group_size) + ")");
+  }
+  if (cb_nodes < 0) {
+    throw std::invalid_argument("Hints: cb_nodes must be >= 0 (got " +
+                                std::to_string(cb_nodes) + ")");
   }
 }
 

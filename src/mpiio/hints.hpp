@@ -60,9 +60,16 @@ struct Hints {
   /// Disable when successive calls change the rank-to-offset ordering.
   bool parcoll_persistent_groups = true;
 
-  /// MPI_Info-style string interface. Unknown keys throw.
+  /// MPI_Info-style string interface. Unknown keys throw; values that can
+  /// never be valid (zero cb_buffer_size, non-positive group counts other
+  /// than "auto") throw std::invalid_argument at set time.
   void set(const std::string& key, const std::string& value);
   [[nodiscard]] std::string get(const std::string& key) const;
+
+  /// Whole-struct validation against the opening communicator's size.
+  /// Called at file-open time; throws std::invalid_argument with the
+  /// offending key and value on the first violation.
+  void validate(int comm_size) const;
 };
 
 }  // namespace parcoll::mpiio

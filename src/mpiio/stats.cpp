@@ -19,6 +19,11 @@ FileStats& FileStats::operator+=(const FileStats& other) {
   view_switches += other.view_switches;
   last_num_groups = other.last_num_groups ? other.last_num_groups
                                           : last_num_groups;
+  fault_retries += other.fault_retries;
+  fault_failovers += other.fault_failovers;
+  fault_drops += other.fault_drops;
+  fault_reelections += other.fault_reelections;
+  fault_stalls += other.fault_stalls;
   return *this;
 }
 
@@ -28,7 +33,9 @@ std::string FileStats::summary(const std::string& name) const {
   os << "  time:   compute=" << time[mpi::TimeCat::Compute]
      << "s p2p=" << time[mpi::TimeCat::P2P]
      << "s sync=" << time[mpi::TimeCat::Sync]
-     << "s io=" << time[mpi::TimeCat::IO] << "s (sum over ranks)\n";
+     << "s io=" << time[mpi::TimeCat::IO]
+     << "s faulted=" << time[mpi::TimeCat::Faulted]
+     << "s (sum over ranks)\n";
   os << "  data:   written=" << bytes_written << "B read=" << bytes_read
      << "B\n";
   os << "  calls:  coll_w=" << collective_writes << " coll_r="
@@ -38,6 +45,13 @@ std::string FileStats::summary(const std::string& name) const {
      << ")\n";
   os << "  parcoll: calls=" << parcoll_calls << " view_switches="
      << view_switches << " last_groups=" << last_num_groups;
+  if (fault_retries || fault_failovers || fault_drops || fault_reelections ||
+      fault_stalls) {
+    os << "\n  faults: retries=" << fault_retries
+       << " failovers=" << fault_failovers << " drops=" << fault_drops
+       << " reelections=" << fault_reelections
+       << " stalls=" << fault_stalls;
+  }
   return os.str();
 }
 

@@ -30,6 +30,13 @@ struct FileStats {
   std::uint64_t view_switches = 0;
   /// Subgroups used by the most recent ParColl call.
   int last_num_groups = 0;
+  /// Degraded-mode events observed during this file's operations (all zero
+  /// unless a fault plan is installed).
+  std::uint64_t fault_retries = 0;
+  std::uint64_t fault_failovers = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_reelections = 0;
+  std::uint64_t fault_stalls = 0;
 
   FileStats& operator+=(const FileStats& other);
 

@@ -77,6 +77,7 @@ std::uint64_t BtIOConfig::rank_bytes(int rank, int nranks) const {
 RunResult run_btio(const BtIOConfig& config, int nranks, const RunSpec& spec,
                    bool write) {
   mpi::World world(spec.model(nranks), spec.byte_true);
+  world.set_fault(spec.fault);
   if (spec.trace) {
     world.enable_tracing();
   }
@@ -173,6 +174,7 @@ RunResult run_btio(const BtIOConfig& config, int nranks, const RunSpec& spec,
 RunResult run_btio_epio(const BtIOConfig& config, int nranks,
                         const RunSpec& spec) {
   mpi::World world(spec.model(nranks), spec.byte_true);
+  world.set_fault(spec.fault);
   if (spec.trace) {
     world.enable_tracing();
   }

@@ -64,6 +64,7 @@ dtype::Datatype FlashConfig::filetype(int rank, int nranks) const {
 RunResult run_flashio(const FlashConfig& config, int nranks,
                       const RunSpec& spec, bool write) {
   mpi::World world(spec.model(nranks), spec.byte_true);
+  world.set_fault(spec.fault);
   if (spec.trace) {
     world.enable_tracing();
   }
@@ -191,6 +192,7 @@ dtype::Datatype block_record_selection(const FlashConfig& config, int rank,
 RunResult run_flashio_h5(const FlashConfig& config, int nranks,
                          const RunSpec& spec) {
   mpi::World world(spec.model(nranks), spec.byte_true);
+  world.set_fault(spec.fault);
   if (spec.trace) {
     world.enable_tracing();
   }

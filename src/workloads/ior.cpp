@@ -39,6 +39,7 @@ RunResult run_ior(const IorConfig& config, int nranks, const RunSpec& spec,
     throw std::invalid_argument("IorConfig: xfer_size must divide block_size");
   }
   mpi::World world(spec.model(nranks), spec.byte_true);
+  world.set_fault(spec.fault);
   if (spec.trace) {
     world.enable_tracing();
   }

@@ -58,6 +58,7 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
   if (mutable_world.tracer() != nullptr) {
     result.trace = std::make_shared<mpi::Tracer>(*mutable_world.tracer());
   }
+  result.faults = mutable_world.fault_state().total();
   return result;
 }
 

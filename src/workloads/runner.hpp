@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "machine/machine_model.hpp"
 #include "mpi/runtime.hpp"
 #include "mpi/timecat.hpp"
@@ -46,6 +47,9 @@ struct RunSpec {
   machine::Mapping mapping = machine::Mapping::Block;
   /// Optional calibration tweak applied to the machine model before a run.
   std::function<void(machine::MachineModel&)> tweak_model;
+  /// Deterministic fault plan injected into the run (empty = fault-free;
+  /// an empty plan leaves the run bit-for-bit identical to no plan).
+  fault::FaultPlan fault;
 
   [[nodiscard]] mpiio::Hints hints() const;
   [[nodiscard]] machine::MachineModel model(int nranks) const;
@@ -60,6 +64,7 @@ struct RunResult {
   std::uint64_t fs_rpcs = 0;          // RPCs served across OSTs
   std::uint64_t fs_lock_switches = 0; // DLM revocations across OSTs
   std::shared_ptr<mpi::Tracer> trace; // set when RunSpec::trace was on
+  fault::FaultCounters faults;        // degraded-mode events, all ranks
 
   [[nodiscard]] double bandwidth() const {
     return elapsed > 0 ? static_cast<double>(bytes) / elapsed : 0.0;

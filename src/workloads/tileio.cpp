@@ -62,6 +62,7 @@ std::uint64_t TileIOConfig::rank_bytes_overlapped(int rank, int nranks) const {
 RunResult run_tileio(const TileIOConfig& config, int nranks,
                      const RunSpec& spec, bool write) {
   mpi::World world(spec.model(nranks), spec.byte_true);
+  world.set_fault(spec.fault);
   if (spec.trace) {
     world.enable_tracing();
   }

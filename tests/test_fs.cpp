@@ -101,8 +101,8 @@ TEST(Ost, FifoReservation) {
   OstModel ost(0, params);
   const double service =
       params.request_overhead + 1e6 / params.ost_bandwidth;
-  const double first = ost.serve(0.0, 0, 1, 0, 0 + 1'000'000, 1'000'000, false);
-  const double second = ost.serve(0.0, 0, 1, 0, 0 + 1'000'000, 1'000'000, false);
+  const double first = ost.serve(0.0, 0, 1, 0, 0 + 1'000'000, 1'000'000, false).done;
+  const double second = ost.serve(0.0, 0, 1, 0, 0 + 1'000'000, 1'000'000, false).done;
   EXPECT_DOUBLE_EQ(first, service);
   EXPECT_DOUBLE_EQ(second, 2 * service);
 }
@@ -173,13 +173,13 @@ TEST(Ost, JitterIsBoundedAndDeterministic) {
   OstModel a(3, params);
   OstModel b(3, params);
   for (int i = 0; i < 50; ++i) {
-    const double ta = a.serve(0.0, 0, 1, 0, 0 + 1000, 1000, false);
-    const double tb = b.serve(0.0, 0, 1, 0, 0 + 1000, 1000, false);
+    const double ta = a.serve(0.0, 0, 1, 0, 0 + 1000, 1000, false).done;
+    const double tb = b.serve(0.0, 0, 1, 0, 0 + 1000, 1000, false).done;
     EXPECT_DOUBLE_EQ(ta, tb);  // same id, same seq -> same jitter
   }
   const double base = params.request_overhead + 1000 / params.ost_bandwidth;
   OstModel c(5, params);
-  const double t = c.serve(0.0, 0, 1, 0, 0 + 1000, 1000, false);
+  const double t = c.serve(0.0, 0, 1, 0, 0 + 1000, 1000, false).done;
   EXPECT_GE(t, base);
   EXPECT_LE(t, base * 1.5 + 1e-12);
 }

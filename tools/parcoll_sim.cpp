@@ -9,15 +9,19 @@
 //   parcoll_sim --workload btio --nprocs 256 --impl parcoll --groups auto 
 //               --cb-nodes 16
 //   parcoll_sim --workload flash --nprocs 256 --impl sieving
-//   parcoll_sim --workload tileio --nprocs 32 --impl parcoll --groups 4 
+//   parcoll_sim --workload tileio --nprocs 32 --impl parcoll --groups 4
 //               --trace trace.csv --gantt
+//   parcoll_sim --workload ior --nprocs 64 --impl parcoll
+//               --fault "seed=7;ost-outage=3:0.05:0.4;rpc-drop=0.02"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <string>
 
 #include "core/file_area.hpp"
+#include "fault/fault.hpp"
 #include "mpi/trace.hpp"
 #include "workloads/btio.hpp"
 #include "workloads/flashio.hpp"
@@ -49,7 +53,16 @@ void usage(const char* argv0) {
       "  --osts N                storage targets (default 72)\n"
       "  --seed N                jitter seed (default 42)\n"
       "  --trace FILE.csv        write a per-rank interval trace\n"
-      "  --gantt                 print a text timeline (implies tracing)\n",
+      "  --gantt                 print a text timeline (implies tracing)\n"
+      "  --fault SPEC            deterministic fault plan, e.g.\n"
+      "                          \"seed=7;ost-outage=3:0.05:0.4;rpc-drop=0.02;"
+      "rank-stall=5:0:0.2\"\n"
+      "                          (keys: seed, ost-outage=OST:BEGIN:END,\n"
+      "                           ost-degrade=OST:BEGIN:END:FACTOR,\n"
+      "                           rank-stall=RANK:AT:DURATION, rpc-drop=P,\n"
+      "                           rpc-delay=PROB:SECONDS, timeout=T,\n"
+      "                           backoff=BASE:MAX, max-retries=N,\n"
+      "                           agg-stall-threshold=T)\n",
       argv0);
 }
 
@@ -112,6 +125,13 @@ int main(int argc, char** argv) {
       osts = std::stoi(next());
     } else if (arg == "--seed") {
       seed = std::stoull(next());
+    } else if (arg == "--fault") {
+      try {
+        spec.fault = fault::FaultPlan::parse(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
     } else if (arg == "--trace") {
       trace_path = next();
     } else if (arg == "--gantt") {
@@ -153,6 +173,7 @@ int main(int argc, char** argv) {
   spec.trace = gantt || !trace_path.empty();
 
   RunResult result;
+  try {
   if (workload == "tileio") {
     result = workloads::run_tileio(workloads::TileIOConfig::paper(nprocs),
                                    nprocs, spec, write);
@@ -172,6 +193,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown workload: %s\n", workload.c_str());
     return 2;
   }
+  } catch (const std::exception& error) {
+    // Bad hints (validated at open) and model misconfigurations surface
+    // here; report them as a usage error instead of terminating.
+    std::fprintf(stderr, "%s\n", error.what());
+    return 2;
+  }
 
   std::printf("workload  : %s (%s, %d procs)\n", workload.c_str(),
               write ? "write" : "read", nprocs);
@@ -187,14 +214,28 @@ int main(int argc, char** argv) {
   std::printf("bandwidth : %.1f MiB/s\n", result.bandwidth_mib());
   const double total = result.sum.total();
   std::printf("breakdown : compute %.1f%%  p2p %.1f%%  sync %.1f%%  io %.1f%%"
-              "  (rank-seconds: %.2f)\n",
+              "  faulted %.1f%%  (rank-seconds: %.2f)\n",
               100 * result.sum[mpi::TimeCat::Compute] / total,
               100 * result.sum[mpi::TimeCat::P2P] / total,
               100 * result.sum[mpi::TimeCat::Sync] / total,
-              100 * result.sum[mpi::TimeCat::IO] / total, total);
+              100 * result.sum[mpi::TimeCat::IO] / total,
+              100 * result.sum[mpi::TimeCat::Faulted] / total, total);
   std::printf("fs        : %llu RPCs, %llu lock revocations\n",
               static_cast<unsigned long long>(result.fs_rpcs),
               static_cast<unsigned long long>(result.fs_lock_switches));
+  if (!spec.fault.empty()) {
+    std::printf("fault plan: %s\n", spec.fault.describe().c_str());
+    std::printf(
+        "faults    : retries=%llu failovers=%llu drops=%llu delays=%llu "
+        "reelections=%llu stalls=%llu faulted=%.4fs\n",
+        static_cast<unsigned long long>(result.faults.retries),
+        static_cast<unsigned long long>(result.faults.failovers),
+        static_cast<unsigned long long>(result.faults.drops),
+        static_cast<unsigned long long>(result.faults.delays),
+        static_cast<unsigned long long>(result.faults.reelections),
+        static_cast<unsigned long long>(result.faults.stalls),
+        result.faults.faulted_seconds);
+  }
   std::printf("%s\n", result.stats.summary(workload).c_str());
   if (result.trace) {
     if (!trace_path.empty()) {
