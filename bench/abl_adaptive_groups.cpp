@@ -13,7 +13,8 @@
 #include "workloads/ior.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
@@ -23,7 +24,7 @@ int main() {
               "hand-tuned", "auto (groups)");
 
   {
-    const int nprocs = 512;
+    const int nprocs = parcoll::bench::scaled(smoke, 512);
     const auto config = workloads::TileIOConfig::paper(nprocs);
     const auto base =
         workloads::run_tileio(config, nprocs, baseline_spec(), true);
@@ -36,7 +37,7 @@ int main() {
                 automatic.bandwidth_mib(), automatic.stats.last_num_groups);
   }
   {
-    const int nprocs = 256;
+    const int nprocs = parcoll::bench::scaled(smoke, 256);
     workloads::IorConfig config;
     config.block_size = 128ull << 20;
     const auto base = workloads::run_ior(config, nprocs, baseline_spec(), true);
@@ -49,7 +50,7 @@ int main() {
                 automatic.bandwidth_mib(), automatic.stats.last_num_groups);
   }
   {
-    const int nprocs = 256;
+    const int nprocs = parcoll::bench::scaled_square(smoke, 256);
     workloads::BtIOConfig config;
     config.nsteps = 2;
     const int nc = static_cast<int>(std::lround(std::sqrt(nprocs)));

@@ -10,11 +10,12 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto config = workloads::TileIOConfig::paper(nprocs);
   header("Ablation: collective buffer size",
          "Tile-IO (P=256), bandwidth vs cb_buffer_size");

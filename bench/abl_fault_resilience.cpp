@@ -51,8 +51,9 @@ void scenario(const std::string& title, const workloads::IorConfig& config,
 
 }  // namespace
 
-int main() {
-  const int nprocs = 128;
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
+  const int nprocs = parcoll::bench::scaled(smoke, 128);
   const workloads::IorConfig config;
 
   header("Ablation: fault resilience",

@@ -10,7 +10,8 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
@@ -19,7 +20,7 @@ int main() {
   std::printf("  %-12s %14s %14s %8s\n", "storage", "Cray (MiB/s)",
               "ParColl (MiB/s)", "ratio");
 
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto config = workloads::TileIOConfig::paper(nprocs);
 
   struct Personality {
@@ -27,7 +28,10 @@ int main() {
     machine::MachineModel (*make)(int, machine::Mapping);
   };
   const Personality personalities[] = {
-      {"lustre", &machine::MachineModel::jaguar},
+      {"lustre",
+       +[](int n, machine::Mapping m) {
+         return machine::MachineModel::jaguar(n, m);
+       }},
       {"gpfs", &machine::MachineModel::gpfs_like},
       {"pvfs", &machine::MachineModel::pvfs_like},
   };

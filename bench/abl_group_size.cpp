@@ -10,11 +10,12 @@
 #include "workloads/ior.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   header("Ablation: group size",
          "bandwidth (MiB/s) vs subgroup count, 256 processes");
 
@@ -36,6 +37,7 @@ int main() {
   std::printf("  %-10s ", "baseline");
   run_all(baseline_spec());
   for (int groups : {2, 4, 8, 16, 32, 64, 128}) {
+    if (groups > nprocs) continue;  // smoke runs shrink the sweep with P
     std::printf("  %-10d ", groups);
     run_all(parcoll_spec(groups, /*min_group_size=*/2));
   }

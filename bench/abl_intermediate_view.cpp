@@ -8,7 +8,8 @@
 #include "workloads/btio.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
@@ -17,8 +18,8 @@ int main() {
   {
     workloads::BtIOConfig config;
     config.nsteps = 2;
-    const int nprocs = 256;
-    auto spec = parcoll_spec(16);
+    const int nprocs = parcoll::bench::scaled_square(smoke, 256);
+    auto spec = parcoll_spec(std::min(16, nprocs / 2), /*min_group_size=*/2);
     spec.cb_nodes = 16;
     std::printf("  BT-IO class C, 256 procs, ParColl-16:\n");
     row("baseline (ext2ph)",
@@ -33,11 +34,11 @@ int main() {
   }
 
   {
-    const int nprocs = 512;
+    const int nprocs = parcoll::bench::scaled(smoke, 512);
     const auto config = workloads::TileIOConfig::paper(nprocs);
     std::printf("  MPI-Tile-IO, 512 procs, ParColl-128 (only 64 clean"
                 " splits):\n");
-    auto spec = parcoll_spec(128, /*min_group_size=*/2);
+    auto spec = parcoll_spec(std::min(128, nprocs / 2), /*min_group_size=*/2);
     spec.view_switch = true;
     row("view switch on (interm.)",
         workloads::run_tileio(config, nprocs, spec, true));

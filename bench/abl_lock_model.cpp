@@ -17,7 +17,8 @@ void disable_locks(parcoll::machine::MachineModel& model) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
@@ -36,7 +37,7 @@ int main() {
                 with.bandwidth_mib(), without.bandwidth_mib());
   };
 
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto tile_config = workloads::TileIOConfig::paper(nprocs);
   const auto tile = [&](const workloads::RunSpec& spec) {
     return workloads::run_tileio(tile_config, nprocs, spec, true);
@@ -46,8 +47,9 @@ int main() {
 
   workloads::BtIOConfig bt_config;
   bt_config.nsteps = 2;
+  const int bt_nprocs = parcoll::bench::scaled_square(smoke, 256);
   const auto bt = [&](const workloads::RunSpec& spec) {
-    return workloads::run_btio(bt_config, nprocs, spec, true);
+    return workloads::run_btio(bt_config, bt_nprocs, spec, true);
   };
   auto bt_spec = parcoll_spec(16);
   bt_spec.cb_nodes = 16;

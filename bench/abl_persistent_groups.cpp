@@ -9,11 +9,12 @@
 #include "bench/common.hpp"
 #include "workloads/ior.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   workloads::IorConfig config;
   config.block_size = 256ull << 20;  // 64 collective calls per process
 

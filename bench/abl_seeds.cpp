@@ -10,7 +10,8 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
 
@@ -19,7 +20,7 @@ int main() {
   std::printf("  %-8s %14s %14s %8s\n", "seed", "Cray (MiB/s)",
               "ParColl (MiB/s)", "ratio");
 
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto config = workloads::TileIOConfig::paper(nprocs);
   double min_ratio = 1e30;
   double max_ratio = 0;

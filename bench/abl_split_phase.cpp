@@ -71,11 +71,12 @@ Outcome run(int nprocs, bool split, int groups, double compute_seconds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll::bench;
   header("Ablation: split-phase collective I/O",
          "overlap hides I/O, not synchronization (paper §2.3)");
-  const int nprocs = 256;
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const double compute = 1.0;  // seconds of computation per step
 
   std::printf("  %-34s %10s %12s\n", "configuration", "elapsed", "sync share");

@@ -4,12 +4,37 @@
 // "Cray w/o Coll" = POSIX-style independent writes).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "workloads/runner.hpp"
 
 namespace parcoll::bench {
+
+/// --smoke: CI runs every ablation as a tiny smoke test. Benches pass
+/// their full process count through scaled(), which shrinks it when the
+/// flag was given (full figures by default).
+inline bool smoke_requested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
+inline int scaled(bool smoke, int full_nprocs) {
+  return smoke ? std::max(8, full_nprocs / 8) : full_nprocs;
+}
+
+/// Like scaled(), but lands on a perfect square (BT-IO's sqrt(P) x sqrt(P)
+/// process grid requirement survives the smoke shrink).
+inline int scaled_square(bool smoke, int full_nprocs) {
+  const int s = scaled(smoke, full_nprocs);
+  int root = static_cast<int>(std::sqrt(static_cast<double>(s)));
+  while ((root + 1) * (root + 1) <= s) ++root;
+  return std::max(9, root * root);
+}
 
 inline void header(const std::string& figure, const std::string& caption) {
   std::printf("==============================================================\n");

@@ -9,6 +9,9 @@
 #include "mpi/collectives.hpp"
 #include "mpiio/ext2ph.hpp"
 #include "mpiio/sieve.hpp"
+#include "node/hier_coll.hpp"
+#include "node/intra_agg.hpp"
+#include "node/nodecomm.hpp"
 
 namespace parcoll::core {
 
@@ -44,6 +47,48 @@ Ext2phOutcomePair run_ext2ph(mpi::Rank& self, const mpi::Comm& comm,
                           : mpiio::ext2ph_read(self, comm, target, request,
                                                options);
   return {result.cycles, result.rmw_reads};
+}
+
+/// Run one two-phase exchange over `comm`, either flat or — when the
+/// cb_intranode hint activates and some node hosts >= 2 members — staged
+/// two-level: requests aggregate within each node first and only the node
+/// leaders join the inter-node ext2ph. `options.aggregators` is comm-local
+/// on entry; under two-level staging it is mapped onto the leaders of the
+/// nodes hosting those ranks, so ParColl's aggregator distribution (and
+/// any fault re-election) carries through to the leader stage.
+void run_two_phase(mpi::Rank& self, const mpi::Comm& comm,
+                   const mpiio::Hints& hints, mpiio::IoTarget& target,
+                   const mpiio::CollRequest& request,
+                   mpiio::Ext2phOptions options, bool is_write,
+                   CollectiveOutcome& outcome) {
+  const machine::Topology& topo = self.world().model().topology;
+  if (node::two_level_active(hints.cb_intranode, topo, comm)) {
+    const node::NodeComm nodes =
+        node::make_node_comm(self, comm, topo, hints.cb_intranode_leader);
+    auto leader_aggs = nodes.to_leader_locals(options.aggregators);
+    // Auto's cost gate: staging funnels all file traffic through the node
+    // leaders, so a roster with several aggregators on one node (e.g. the
+    // Catamount every-process default) would lose I/O parallelism to buy
+    // the coordination win. Auto declines then; On trusts the user.
+    if (hints.cb_intranode == node::IntranodeMode::Auto &&
+        leader_aggs.size() != options.aggregators.size()) {
+      std::tie(outcome.cycles, outcome.rmw_reads) =
+          run_ext2ph(self, comm, target, request, options, is_write);
+      return;
+    }
+    options.aggregators = std::move(leader_aggs);
+    const auto result =
+        is_write
+            ? node::two_level_write(self, nodes, target, request, options)
+            : node::two_level_read(self, nodes, target, request, options);
+    outcome.cycles = result.cycles;
+    outcome.rmw_reads = result.rmw_reads;
+    outcome.intra_bytes = result.intra_bytes;
+    outcome.two_level = true;
+    return;
+  }
+  std::tie(outcome.cycles, outcome.rmw_reads) =
+      run_ext2ph(self, comm, target, request, options, is_write);
 }
 
 }  // namespace
@@ -94,8 +139,8 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
         self.world().model().topology, comm, hints);
     mpiio::DirectTarget target(fs, fs_id);
     const mpiio::CollRequest request{prep.extents, prep.data()};
-    std::tie(outcome.cycles, outcome.rmw_reads) =
-        run_ext2ph(self, comm, target, request, options, is_write);
+    run_two_phase(self, comm, hints, target, request, options, is_write,
+                  outcome);
     return outcome;
   }
 
@@ -107,7 +152,18 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     cache = std::static_pointer_cast<PlanCache>(*cache_slot);
   }
   if (!cache || !hints.parcoll_persistent_groups) {
-    const auto accesses = mpi::allgather(self, comm, access_of(prep));
+    // The pattern-detection allgather is the one remaining global exchange;
+    // under two-level staging it funnels through the node leaders, so the
+    // inter-node stage involves num_nodes participants instead of P.
+    const machine::Topology& topo = self.world().model().topology;
+    const auto accesses =
+        node::two_level_active(hints.cb_intranode, topo, comm)
+            ? node::hier_allgather(
+                  self,
+                  node::make_node_comm(self, comm, topo,
+                                       hints.cb_intranode_leader),
+                  access_of(prep))
+            : mpi::allgather(self, comm, access_of(prep));
     auto fresh = std::make_shared<PlanCache>();
     fresh->plan = form_subgroups(self, comm, accesses, hints);
     if (fresh->plan.fa.mode == PartitionMode::Direct) {
@@ -140,7 +196,15 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   // cannot perturb fault-free timing.
   const fault::FaultPlan* fplan = self.world().fault_plan();
   if (fplan != nullptr && fplan->has_rank_stalls()) {
-    const double agreed = mpi::allreduce_max(self, plan.subcomm, self.now());
+    const machine::Topology& topo = self.world().model().topology;
+    const double agreed =
+        node::two_level_active(hints.cb_intranode, topo, plan.subcomm)
+            ? node::hier_allreduce_max(
+                  self,
+                  node::make_node_comm(self, plan.subcomm, topo,
+                                       hints.cb_intranode_leader),
+                  self.now())
+            : mpi::allreduce_max(self, plan.subcomm, self.now());
     int replaced = 0;
     options.aggregators = reelect_stalled_aggregators(
         plan.subcomm, plan.sub_aggregators, *fplan, agreed, &replaced);
@@ -153,16 +217,16 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   if (plan.fa.mode == PartitionMode::SingleGroup) {
     mpiio::DirectTarget target(fs, fs_id);
     const mpiio::CollRequest request{prep.extents, prep.data()};
-    std::tie(outcome.cycles, outcome.rmw_reads) =
-        run_ext2ph(self, comm, target, request, options, is_write);
+    run_two_phase(self, comm, hints, target, request, options, is_write,
+                  outcome);
     return outcome;
   }
 
   if (plan.fa.mode == PartitionMode::Direct) {
     mpiio::DirectTarget target(fs, fs_id);
     const mpiio::CollRequest request{prep.extents, prep.data()};
-    std::tie(outcome.cycles, outcome.rmw_reads) =
-        run_ext2ph(self, plan.subcomm, target, request, options, is_write);
+    run_two_phase(self, plan.subcomm, hints, target, request, options,
+                  is_write, outcome);
     return outcome;
   }
 
@@ -198,8 +262,8 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     request.extents.push_back(fs::Extent{my_inter_start, prep.bytes});
   }
   request.data = prep.data();
-  std::tie(outcome.cycles, outcome.rmw_reads) =
-      run_ext2ph(self, plan.subcomm, target, request, options, is_write);
+  run_two_phase(self, plan.subcomm, hints, target, request, options, is_write,
+                outcome);
   return outcome;
 }
 
@@ -244,10 +308,12 @@ CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
   delta.bytes_written = outcome.bytes;
   delta.exchange_cycles = outcome.cycles;
   delta.rmw_reads = outcome.rmw_reads;
+  delta.intranode_bytes = outcome.intra_bytes;
   // Call-level counters are recorded once per collective call, by the
   // call's first rank; per-rank quantities (time, bytes, cycles) sum.
   if (file.comm().local_rank(file.self().rank()) == 0) {
     delta.collective_writes = 1;
+    delta.intranode_calls = outcome.two_level ? 1 : 0;
     delta.parcoll_calls =
         ParcollSettings::from(file.hints()).enabled() ? 1 : 0;
     delta.view_switches = outcome.mode == PartitionMode::Intermediate ? 1 : 0;
@@ -276,8 +342,10 @@ CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
   delta.bytes_read = outcome.bytes;
   delta.exchange_cycles = outcome.cycles;
   delta.rmw_reads = outcome.rmw_reads;
+  delta.intranode_bytes = outcome.intra_bytes;
   if (file.comm().local_rank(file.self().rank()) == 0) {
     delta.collective_reads = 1;
+    delta.intranode_calls = outcome.two_level ? 1 : 0;
     delta.parcoll_calls =
         ParcollSettings::from(file.hints()).enabled() ? 1 : 0;
     delta.view_switches = outcome.mode == PartitionMode::Intermediate ? 1 : 0;

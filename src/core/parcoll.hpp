@@ -30,6 +30,10 @@ struct CollectiveOutcome {
   int num_groups = 1;
   std::uint64_t cycles = 0;     // exchange/I-O cycles this rank executed
   std::uint64_t rmw_reads = 0;  // aggregator RMW fills on this rank
+  /// True when the call used two-level (intra-node aggregated) staging.
+  bool two_level = false;
+  /// Bytes this rank shipped over the intra-node path.
+  std::uint64_t intra_bytes = 0;
 };
 
 /// Collective write through the file's view. All members of the file's

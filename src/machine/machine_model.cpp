@@ -2,9 +2,10 @@
 
 namespace parcoll::machine {
 
-MachineModel MachineModel::jaguar(int nranks, Mapping mapping) {
+MachineModel MachineModel::jaguar(int nranks, Mapping mapping,
+                                  int cores_per_node) {
   MachineModel model;
-  model.topology = Topology(nranks, /*cores_per_node=*/2, mapping);
+  model.topology = Topology(nranks, cores_per_node, mapping);
   return model;
 }
 

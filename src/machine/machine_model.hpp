@@ -34,6 +34,13 @@ struct NetworkParams {
   /// traffic congests the torus superlinearly, so the per-cycle alltoall is
   /// what turns into the collective wall as P grows (paper Figs. 1-2).
   double alltoall_congestion = 0.5e-6;
+  /// Intra-node transfer calibration: a message between two processes of
+  /// the same physical node is a user-space memory copy (Catamount delivers
+  /// without kernel buffering). Fixed per-message handoff latency, seconds.
+  double intranode_latency = 0.0;
+  /// Intra-node copy bandwidth, bytes/second; 0 = inherit
+  /// MemoryParams::memcpy_bandwidth (the historical behaviour).
+  double intranode_bandwidth = 0.0;
 };
 
 /// Lustre-like storage parameters.
@@ -102,9 +109,11 @@ struct MachineModel {
   StorageParams storage;
   MemoryParams mem;
 
-  /// Jaguar-like model: `nranks` processes, two cores per node, block
+  /// Jaguar-like model: `nranks` processes, two cores per node (the
+  /// paper's dual-core PEs, overridable for multi-core what-ifs), block
   /// mapping (the Cray XT default placement), Lustre-like storage.
-  static MachineModel jaguar(int nranks, Mapping mapping = Mapping::Block);
+  static MachineModel jaguar(int nranks, Mapping mapping = Mapping::Block,
+                             int cores_per_node = 2);
 
   /// The paper's future work asks how the collective wall behaves "over
   /// other massively parallel platforms with different underlying file

@@ -8,6 +8,25 @@ Topology::Topology(int nranks, int cores_per_node, Mapping mapping)
     throw std::invalid_argument("Topology: nranks and cores_per_node must be positive");
   }
   num_nodes_ = (nranks + cores_per_node - 1) / cores_per_node;
+
+  // Precompute the per-node rank lists (counting sort by node, which keeps
+  // each node's ranks in increasing order for both mappings).
+  std::vector<int> count(static_cast<std::size_t>(num_nodes_), 0);
+  for (int r = 0; r < nranks_; ++r) {
+    ++count[static_cast<std::size_t>(node_of(r))];
+  }
+  node_begin_.resize(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (int n = 0; n < num_nodes_; ++n) {
+    node_begin_[static_cast<std::size_t>(n) + 1] =
+        node_begin_[static_cast<std::size_t>(n)] +
+        count[static_cast<std::size_t>(n)];
+  }
+  node_ranks_.resize(static_cast<std::size_t>(nranks_));
+  std::vector<int> cursor(node_begin_.begin(), node_begin_.end() - 1);
+  for (int r = 0; r < nranks_; ++r) {
+    const int n = node_of(r);
+    node_ranks_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(n)]++)] = r;
+  }
 }
 
 int Topology::node_of(int rank) const {
@@ -20,22 +39,13 @@ int Topology::node_of(int rank) const {
   return rank % num_nodes_;
 }
 
-std::vector<int> Topology::ranks_on_node(int node) const {
+std::span<const int> Topology::ranks_on_node(int node) const {
   if (node < 0 || node >= num_nodes_) {
     throw std::out_of_range("Topology::ranks_on_node: bad node");
   }
-  std::vector<int> ranks;
-  if (mapping_ == Mapping::Block) {
-    for (int r = node * cores_per_node_;
-         r < (node + 1) * cores_per_node_ && r < nranks_; ++r) {
-      ranks.push_back(r);
-    }
-  } else {
-    for (int r = node; r < nranks_; r += num_nodes_) {
-      ranks.push_back(r);
-    }
-  }
-  return ranks;
+  const auto begin = static_cast<std::size_t>(node_begin_[static_cast<std::size_t>(node)]);
+  const auto end = static_cast<std::size_t>(node_begin_[static_cast<std::size_t>(node) + 1]);
+  return std::span<const int>(node_ranks_).subspan(begin, end - begin);
 }
 
 }  // namespace parcoll::machine

@@ -8,6 +8,7 @@
 //   cyclic: N0(P0,P4) N1(P1,P5) ...
 #pragma once
 
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -28,14 +29,20 @@ class Topology {
   /// Physical node hosting `rank`.
   [[nodiscard]] int node_of(int rank) const;
 
-  /// Ranks hosted on `node`, in increasing rank order.
-  [[nodiscard]] std::vector<int> ranks_on_node(int node) const;
+  /// Ranks hosted on `node`, in increasing rank order. The lists are
+  /// precomputed at construction; the returned view stays valid for the
+  /// lifetime of the Topology (aggregator selection walks them in a loop).
+  [[nodiscard]] std::span<const int> ranks_on_node(int node) const;
 
  private:
   int nranks_ = 0;
   int cores_per_node_ = 1;
   int num_nodes_ = 0;
   Mapping mapping_ = Mapping::Block;
+  /// Ranks sorted by (node, rank); node i's list is
+  /// [node_begin_[i], node_begin_[i + 1]).
+  std::vector<int> node_ranks_;
+  std::vector<int> node_begin_;
 };
 
 }  // namespace parcoll::machine

@@ -59,11 +59,11 @@ void P2PEngine::complete_pair(const PendingSend& send,
 }
 
 Request P2PEngine::isend(Rank& self, const Comm& comm, int dst, int tag,
-                         const void* data, std::uint64_t bytes) {
+                         const void* data, std::uint64_t bytes, TimeCat cat) {
   if (dst < 0 || dst >= comm.size()) {
     throw std::out_of_range("isend: bad destination rank");
   }
-  self.busy(TimeCat::P2P, network_.params().cpu_msg_overhead);
+  self.busy(cat, network_.params().cpu_msg_overhead);
 
   auto state = std::make_shared<detail::ReqState>();
   PendingSend send;
@@ -105,11 +105,11 @@ Request P2PEngine::isend(Rank& self, const Comm& comm, int dst, int tag,
 }
 
 Request P2PEngine::irecv(Rank& self, const Comm& comm, int src, int tag,
-                         void* buffer, std::uint64_t capacity) {
+                         void* buffer, std::uint64_t capacity, TimeCat cat) {
   if (src != kAnySource && (src < 0 || src >= comm.size())) {
     throw std::out_of_range("irecv: bad source rank");
   }
-  self.busy(TimeCat::P2P, network_.params().cpu_msg_overhead);
+  self.busy(cat, network_.params().cpu_msg_overhead);
 
   auto state = std::make_shared<detail::ReqState>();
   PendingRecv recv;
@@ -138,7 +138,7 @@ Request P2PEngine::irecv(Rank& self, const Comm& comm, int src, int tag,
   return Request(state);
 }
 
-void P2PEngine::wait(Rank& self, Request& request) {
+void P2PEngine::wait(Rank& self, Request& request, TimeCat cat) {
   if (!request.valid()) {
     throw std::logic_error("wait: invalid request");
   }
@@ -148,25 +148,26 @@ void P2PEngine::wait(Rank& self, Request& request) {
   const double blocked_at = engine_.now();
   request.state_->waiters.push_back(self.pid());
   engine_.suspend("p2p wait");
-  self.times().add(TimeCat::P2P, engine_.now() - blocked_at);
+  self.times().add(cat, engine_.now() - blocked_at);
 }
 
-void P2PEngine::waitall(Rank& self, std::span<Request> requests) {
+void P2PEngine::waitall(Rank& self, std::span<Request> requests, TimeCat cat) {
   for (Request& request : requests) {
-    wait(self, request);
+    wait(self, request, cat);
   }
 }
 
 void P2PEngine::send(Rank& self, const Comm& comm, int dst, int tag,
-                     const void* data, std::uint64_t bytes) {
-  Request request = isend(self, comm, dst, tag, data, bytes);
-  wait(self, request);
+                     const void* data, std::uint64_t bytes, TimeCat cat) {
+  Request request = isend(self, comm, dst, tag, data, bytes, cat);
+  wait(self, request, cat);
 }
 
 std::uint64_t P2PEngine::recv(Rank& self, const Comm& comm, int src, int tag,
-                              void* buffer, std::uint64_t capacity) {
-  Request request = irecv(self, comm, src, tag, buffer, capacity);
-  wait(self, request);
+                              void* buffer, std::uint64_t capacity,
+                              TimeCat cat) {
+  Request request = irecv(self, comm, src, tag, buffer, capacity, cat);
+  wait(self, request, cat);
   return request.transferred();
 }
 

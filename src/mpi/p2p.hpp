@@ -21,6 +21,7 @@
 
 #include "machine/machine_model.hpp"
 #include "mpi/comm.hpp"
+#include "mpi/timecat.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
@@ -66,26 +67,31 @@ class P2PEngine {
             const machine::Topology& topology);
 
   /// Post a send of `bytes` to `dst` (local rank in `comm`) with `tag`.
-  /// `data` may be nullptr for a phantom payload.
+  /// `data` may be nullptr for a phantom payload. Posting overhead is
+  /// charged to `cat` (the intra-node aggregation stage accounts its
+  /// shipping as TimeCat::Intra; everything else keeps the P2P default).
   Request isend(Rank& self, const Comm& comm, int dst, int tag,
-                const void* data, std::uint64_t bytes);
+                const void* data, std::uint64_t bytes,
+                TimeCat cat = TimeCat::P2P);
 
   /// Post a receive into `buffer` (may be nullptr) of up to `capacity`
   /// bytes from `src` (local rank, or kAnySource) with `tag` (or kAnyTag).
   Request irecv(Rank& self, const Comm& comm, int src, int tag, void* buffer,
-                std::uint64_t capacity);
+                std::uint64_t capacity, TimeCat cat = TimeCat::P2P);
 
-  /// Block until `request` completes; charges the wait to TimeCat::P2P.
-  void wait(Rank& self, Request& request);
+  /// Block until `request` completes; charges the wait to `cat`.
+  void wait(Rank& self, Request& request, TimeCat cat = TimeCat::P2P);
 
-  void waitall(Rank& self, std::span<Request> requests);
+  void waitall(Rank& self, std::span<Request> requests,
+               TimeCat cat = TimeCat::P2P);
 
   /// Blocking convenience wrappers.
   void send(Rank& self, const Comm& comm, int dst, int tag, const void* data,
-            std::uint64_t bytes);
+            std::uint64_t bytes, TimeCat cat = TimeCat::P2P);
   /// Returns the number of bytes received.
   std::uint64_t recv(Rank& self, const Comm& comm, int src, int tag,
-                     void* buffer, std::uint64_t capacity);
+                     void* buffer, std::uint64_t capacity,
+                     TimeCat cat = TimeCat::P2P);
 
  private:
   struct PendingSend {

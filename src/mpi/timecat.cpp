@@ -23,6 +23,8 @@ const char* to_string(TimeCat cat) {
       return "io";
     case TimeCat::Faulted:
       return "faulted";
+    case TimeCat::Intra:
+      return "intra";
   }
   return "?";
 }

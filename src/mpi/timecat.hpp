@@ -17,8 +17,9 @@ enum class TimeCat : std::size_t {
   Sync = 2,     // blocked in collective operations (the collective wall)
   IO = 3,       // blocked in file-system reads/writes
   Faulted = 4,  // degraded mode: RPC timeouts, retry backoff, rank stalls
+  Intra = 5,    // two-level collective I/O: intra-node request aggregation
 };
-inline constexpr std::size_t kNumTimeCats = 5;
+inline constexpr std::size_t kNumTimeCats = 6;
 
 struct TimeBreakdown {
   std::array<double, kNumTimeCats> seconds{};

@@ -41,7 +41,8 @@ class Tracer {
 
   /// Text Gantt chart: one row per rank (up to `max_ranks`), `width` time
   /// bins from 0 to the last event. Each cell shows the category that
-  /// dominates the bin: '.' idle, 'c' compute, 'p' p2p, 'S' sync, 'I' io.
+  /// dominates the bin: '.' idle, 'c' compute, 'p' p2p, 'S' sync, 'I' io,
+  /// 'F' faulted, 'n' intra-node aggregation.
   [[nodiscard]] std::string gantt(int width = 72, int max_ranks = 16) const;
 
  private:

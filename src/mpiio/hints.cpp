@@ -54,6 +54,10 @@ void Hints::set(const std::string& key, const std::string& value) {
     (key == "romio_cb_write" ? cb_write_enabled : cb_read_enabled) = enabled;
   } else if (key == "cb_fd_align") {
     cb_fd_align = (value == "true" || value == "1" || value == "enable");
+  } else if (key == "cb_intranode") {
+    cb_intranode = node::parse_intranode_mode(value);
+  } else if (key == "cb_intranode_leader") {
+    cb_intranode_leader = node::parse_leader_policy(value);
   } else if (key == "romio_no_indep_rw") {
     no_indep_rw = (value == "true" || value == "1" || value == "enable");
   } else if (key == "parcoll_num_groups") {
@@ -122,6 +126,10 @@ std::string Hints::get(const std::string& key) const {
   if (key == "romio_cb_read") return cb_read_enabled ? "enable" : "disable";
   if (key == "romio_no_indep_rw") return no_indep_rw ? "true" : "false";
   if (key == "cb_fd_align") return cb_fd_align ? "true" : "false";
+  if (key == "cb_intranode") return node::to_string(cb_intranode);
+  if (key == "cb_intranode_leader") {
+    return node::to_string(cb_intranode_leader);
+  }
   if (key == "parcoll_num_groups") return std::to_string(parcoll_num_groups);
   if (key == "parcoll_min_group_size") {
     return std::to_string(parcoll_min_group_size);

@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "node/options.hpp"
+
 namespace parcoll::mpiio {
 
 struct Hints {
@@ -39,6 +41,15 @@ struct Hints {
   /// Align file-domain boundaries to the file's stripe size (the
   /// Lustre-aware ADIO optimization). Off by default, as in classic ROMIO.
   bool cb_fd_align = false;
+
+  /// Two-level collective I/O: aggregate requests within each physical
+  /// node (over memory) before the inter-node exchange, so only one
+  /// process per node joins the coordination collectives and the data
+  /// redistribution. Off by default — the historical single-level
+  /// protocol, bit-identical output and timing.
+  node::IntranodeMode cb_intranode = node::IntranodeMode::Off;
+  /// Which process of a node leads its intra-node aggregation.
+  node::LeaderPolicy cb_intranode_leader = node::LeaderPolicy::Lowest;
 
   // --- ParColl extensions (this paper) ---
   /// Number of subgroups (ParColl-N in the paper's figures). 0 disables

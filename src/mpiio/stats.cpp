@@ -16,6 +16,8 @@ FileStats& FileStats::operator+=(const FileStats& other) {
   exchange_cycles += other.exchange_cycles;
   rmw_reads += other.rmw_reads;
   parcoll_calls += other.parcoll_calls;
+  intranode_calls += other.intranode_calls;
+  intranode_bytes += other.intranode_bytes;
   view_switches += other.view_switches;
   last_num_groups = other.last_num_groups ? other.last_num_groups
                                           : last_num_groups;
@@ -35,6 +37,7 @@ std::string FileStats::summary(const std::string& name) const {
      << "s sync=" << time[mpi::TimeCat::Sync]
      << "s io=" << time[mpi::TimeCat::IO]
      << "s faulted=" << time[mpi::TimeCat::Faulted]
+     << "s intra=" << time[mpi::TimeCat::Intra]
      << "s (sum over ranks)\n";
   os << "  data:   written=" << bytes_written << "B read=" << bytes_read
      << "B\n";
@@ -45,6 +48,10 @@ std::string FileStats::summary(const std::string& name) const {
      << ")\n";
   os << "  parcoll: calls=" << parcoll_calls << " view_switches="
      << view_switches << " last_groups=" << last_num_groups;
+  if (intranode_calls || intranode_bytes) {
+    os << "\n  intra:  calls=" << intranode_calls
+       << " bytes=" << intranode_bytes << "B";
+  }
   if (fault_retries || fault_failovers || fault_drops || fault_reelections ||
       fault_stalls) {
     os << "\n  faults: retries=" << fault_retries

@@ -26,6 +26,11 @@ struct FileStats {
   std::uint64_t rmw_reads = 0;
   /// Collective calls that went through ParColl partitioning.
   std::uint64_t parcoll_calls = 0;
+  /// Collective calls that used two-level (intra-node aggregated) staging.
+  std::uint64_t intranode_calls = 0;
+  /// Bytes shipped over the intra-node path (request metadata + payload,
+  /// counted at the non-leader side).
+  std::uint64_t intranode_bytes = 0;
   /// ParColl calls that switched to an intermediate file view (Fig. 4c).
   std::uint64_t view_switches = 0;
   /// Subgroups used by the most recent ParColl call.

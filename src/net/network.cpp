@@ -23,7 +23,12 @@ double Network::transfer(double ready, int src_node, int dst_node,
   if (src_node == dst_node) {
     // Intra-node: a memory copy between the two processes' address spaces
     // (Catamount delivers user-space to user-space without kernel buffering).
-    return ready + static_cast<double>(bytes) / mem_.memcpy_bandwidth;
+    // Calibrated by the explicit intranode_* parameters; an unset bandwidth
+    // inherits the node's memcpy bandwidth.
+    const double bw = params_.intranode_bandwidth > 0
+                          ? params_.intranode_bandwidth
+                          : mem_.memcpy_bandwidth;
+    return ready + params_.intranode_latency + static_cast<double>(bytes) / bw;
   }
   auto& tx = tx_busy_until_[static_cast<std::size_t>(src_node)];
   auto& rx = rx_busy_until_[static_cast<std::size_t>(dst_node)];

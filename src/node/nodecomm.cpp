@@ -1,0 +1,140 @@
+#include "node/nodecomm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "mpi/collectives.hpp"
+
+namespace parcoll::node {
+
+namespace {
+// Context-derivation salts for the two derived communicators. Arbitrary but
+// fixed: every rank must derive the same ids from the same parent context.
+constexpr std::uint64_t kNodeSeq = 0x6e6f6465;    // "node"
+constexpr std::uint64_t kLeaderSeq = 0x6c646572;  // "lder"
+}  // namespace
+
+bool two_level_applicable(const machine::Topology& topology,
+                          const mpi::Comm& comm) {
+  if (!comm.valid() || comm.size() < 2) {
+    return false;
+  }
+  std::vector<int> seen;
+  seen.reserve(static_cast<std::size_t>(comm.size()));
+  for (int world : comm.members()) {
+    const int node = topology.node_of(world);
+    if (std::find(seen.begin(), seen.end(), node) != seen.end()) {
+      return true;  // second member on the same node
+    }
+    seen.push_back(node);
+  }
+  return false;
+}
+
+bool two_level_active(IntranodeMode mode, const machine::Topology& topology,
+                      const mpi::Comm& comm) {
+  if (mode == IntranodeMode::Off) {
+    return false;
+  }
+  return two_level_applicable(topology, comm);
+}
+
+std::vector<int> NodeComm::to_leader_locals(
+    const std::vector<int>& parent_locals) const {
+  std::vector<int> locals;
+  locals.reserve(parent_locals.size());
+  for (int parent_local : parent_locals) {
+    locals.push_back(node_index_of[static_cast<std::size_t>(parent_local)]);
+  }
+  std::sort(locals.begin(), locals.end());
+  locals.erase(std::unique(locals.begin(), locals.end()), locals.end());
+  return locals;
+}
+
+NodeComm make_node_comm(mpi::Rank& self, const mpi::Comm& comm,
+                        const machine::Topology& topology,
+                        LeaderPolicy policy) {
+  NodeComm nc;
+  nc.parent = comm;
+  nc.my_parent_local_ = comm.local_rank(self.rank());
+  if (nc.my_parent_local_ < 0) {
+    throw std::logic_error("make_node_comm: caller not a member of comm");
+  }
+
+  // Group parent members by physical node, dense-indexed in ascending
+  // physical-node order. Members of comm are visited in local-rank order,
+  // so each node's member list comes out ascending by parent local rank.
+  std::vector<int> node_ids;  // physical id per node index
+  for (int local = 0; local < comm.size(); ++local) {
+    const int node = topology.node_of(comm.world_rank(local));
+    auto it = std::lower_bound(node_ids.begin(), node_ids.end(), node);
+    if (it == node_ids.end() || *it != node) {
+      const auto at = static_cast<std::size_t>(it - node_ids.begin());
+      node_ids.insert(it, node);
+      nc.node_members.insert(
+          nc.node_members.begin() + static_cast<std::ptrdiff_t>(at),
+          std::vector<int>{});
+    }
+  }
+  nc.node_index_of.resize(static_cast<std::size_t>(comm.size()), -1);
+  for (int local = 0; local < comm.size(); ++local) {
+    const int node = topology.node_of(comm.world_rank(local));
+    const auto at = static_cast<std::size_t>(
+        std::lower_bound(node_ids.begin(), node_ids.end(), node) -
+        node_ids.begin());
+    nc.node_index_of[static_cast<std::size_t>(local)] = static_cast<int>(at);
+    nc.node_members[at].push_back(local);
+  }
+
+  // Elect one leader per node.
+  nc.leaders.reserve(node_ids.size());
+  for (std::size_t n = 0; n < node_ids.size(); ++n) {
+    const auto& members = nc.node_members[n];
+    std::size_t pick = 0;
+    if (policy == LeaderPolicy::Spread) {
+      pick = n % members.size();
+    }
+    nc.leaders.push_back(members[pick]);
+    if (members.size() > 1) {
+      nc.multi = true;
+    }
+  }
+
+  nc.my_node_index =
+      nc.node_index_of[static_cast<std::size_t>(nc.my_parent_local_)];
+  const auto& my_members =
+      nc.node_members[static_cast<std::size_t>(nc.my_node_index)];
+  nc.i_lead_ =
+      nc.leaders[static_cast<std::size_t>(nc.my_node_index)] ==
+      nc.my_parent_local_;
+  nc.leader_node_local = static_cast<int>(
+      std::find(my_members.begin(), my_members.end(),
+                nc.leaders[static_cast<std::size_t>(nc.my_node_index)]) -
+      my_members.begin());
+
+  // Materialize the derived communicators. Context ids are deterministic
+  // functions of the parent context, so no exchange is needed; repeated
+  // construction over the same parent reuses the same contexts, which is
+  // equivalent to caching the communicators.
+  const auto& colls = self.world().colls();
+  std::vector<int> node_world;
+  node_world.reserve(my_members.size());
+  for (int local : my_members) {
+    node_world.push_back(comm.world_rank(local));
+  }
+  nc.node_comm = mpi::Comm(
+      colls.derive_context(comm.context_id(), kNodeSeq, nc.my_node_index),
+      std::move(node_world));
+
+  std::vector<int> leader_world;
+  leader_world.reserve(nc.leaders.size());
+  for (int local : nc.leaders) {
+    leader_world.push_back(comm.world_rank(local));
+  }
+  nc.leader_comm =
+      mpi::Comm(colls.derive_context(comm.context_id(), kLeaderSeq, 0),
+                std::move(leader_world));
+  return nc;
+}
+
+}  // namespace parcoll::node

@@ -1,0 +1,97 @@
+// Two-level process organization: per-node sub-communicators and leaders.
+//
+// Kang et al. ("Improving MPI Collective I/O Performance With Intra-node
+// Request Aggregation") observe that the global coordination cost of
+// two-phase collective I/O is a function of the number of *participants*,
+// and that processes sharing a physical node can combine their requests
+// over memory first, so only one process per node joins the inter-node
+// exchange. A NodeComm captures the structure that makes that possible:
+//
+//   parent       the communicator a collective call runs over
+//   node_comm    the parent members hosted on my physical node
+//   leader_comm  one elected leader per node (the inter-node participants)
+//
+// Construction is deterministic and communication-free: node membership is
+// a pure function of the parent communicator and the machine topology
+// (correct under both Block and Cyclic mappings), and the derived context
+// ids are stable hashes of the parent context — every member computes the
+// identical communicators without exchanging a byte, exactly like ROMIO
+// deriving its aggregator layout from the static process map.
+#pragma once
+
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/runtime.hpp"
+#include "node/options.hpp"
+
+namespace parcoll::node {
+
+struct NodeComm {
+  mpi::Comm parent;
+  /// Members of `parent` on my physical node, ordered by parent rank.
+  mpi::Comm node_comm;
+  /// One leader per occupied node, ordered by node index. Every rank holds
+  /// the same member list, but only leaders participate in its traffic.
+  mpi::Comm leader_comm;
+
+  /// True when some node hosts >= 2 parent members (two-level staging has
+  /// something to aggregate).
+  bool multi = false;
+  /// Dense index (leader_comm local rank of my node's leader) of my node.
+  int my_node_index = -1;
+  /// My node's leader as a node_comm local rank.
+  int leader_node_local = 0;
+  /// Per node index: the leader's parent-local rank.
+  std::vector<int> leaders;
+  /// Per node index: all members' parent-local ranks, ascending.
+  std::vector<std::vector<int>> node_members;
+  /// Parent-local rank -> node index.
+  std::vector<int> node_index_of;
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(leaders.size());
+  }
+  [[nodiscard]] bool is_leader(int parent_local) const {
+    return leaders[static_cast<std::size_t>(
+               node_index_of[static_cast<std::size_t>(parent_local)])] ==
+           parent_local;
+  }
+  /// Whether the calling rank (parent local rank stored at construction)
+  /// leads its node.
+  [[nodiscard]] bool i_lead() const { return i_lead_; }
+  [[nodiscard]] int my_parent_local() const { return my_parent_local_; }
+
+  /// Map a set of parent-local ranks to the leader_comm-local ranks of the
+  /// nodes hosting them (sorted, deduplicated). This is how an aggregator
+  /// roster chosen over the parent (ParColl's Fig. 5 distribution, or a
+  /// fault re-election) is carried into the leader-only inter-node stage.
+  [[nodiscard]] std::vector<int> to_leader_locals(
+      const std::vector<int>& parent_locals) const;
+
+  // Filled in by make_node_comm.
+  bool i_lead_ = false;
+  int my_parent_local_ = -1;
+};
+
+/// True when two-level staging would aggregate anything: some physical node
+/// hosts at least two members of `comm`.
+[[nodiscard]] bool two_level_applicable(const machine::Topology& topology,
+                                        const mpi::Comm& comm);
+
+/// The activation rule shared by every call site: Off disables; On and
+/// Auto enable exactly when applicable (so cores_per_node == 1 machines
+/// never pay a structural change).
+[[nodiscard]] bool two_level_active(IntranodeMode mode,
+                                    const machine::Topology& topology,
+                                    const mpi::Comm& comm);
+
+/// Build the two-level structure for `comm`. Deterministic and local:
+/// every member computes identical communicators. `self` supplies the
+/// context-derivation service and the caller's identity.
+[[nodiscard]] NodeComm make_node_comm(mpi::Rank& self, const mpi::Comm& comm,
+                                      const machine::Topology& topology,
+                                      LeaderPolicy policy);
+
+}  // namespace parcoll::node

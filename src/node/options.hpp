@@ -1,0 +1,66 @@
+// Two-level collective I/O knobs, shared between the MPI-IO hints and the
+// node subsystem (dependency-free so mpiio/ can include it without pulling
+// the node layer in).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parcoll::node {
+
+/// cb_intranode hint: whether collective calls aggregate requests inside
+/// each physical node before the inter-node two-phase exchange.
+///   Off  — single-level protocol, bit-for-bit the historical behaviour.
+///   On   — force two-level staging wherever a node hosts >= 2 members.
+///   Auto — like On, but the data path additionally declines when staging
+///          would shrink the aggregator roster (several aggregators hosted
+///          on one node, e.g. the every-process default): losing I/O
+///          parallelism usually costs more than the coordination win.
+enum class IntranodeMode { Off, On, Auto };
+
+/// cb_intranode_leader hint: which process of a node becomes its leader.
+///   Lowest — the smallest communicator rank hosted on the node (matches
+///            the historical one-aggregator-per-node selection).
+///   Spread — rotate the leader core with the node index, spreading NIC
+///            and memory pressure across cores under block mapping.
+enum class LeaderPolicy { Lowest, Spread };
+
+[[nodiscard]] inline const char* to_string(IntranodeMode mode) {
+  switch (mode) {
+    case IntranodeMode::Off:  return "disable";
+    case IntranodeMode::On:   return "enable";
+    case IntranodeMode::Auto: return "automatic";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline const char* to_string(LeaderPolicy policy) {
+  switch (policy) {
+    case LeaderPolicy::Lowest: return "lowest";
+    case LeaderPolicy::Spread: return "spread";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline IntranodeMode parse_intranode_mode(const std::string& value) {
+  if (value == "disable" || value == "off" || value == "false" || value == "0") {
+    return IntranodeMode::Off;
+  }
+  if (value == "enable" || value == "on" || value == "true" || value == "1") {
+    return IntranodeMode::On;
+  }
+  if (value == "automatic" || value == "auto") {
+    return IntranodeMode::Auto;
+  }
+  throw std::invalid_argument(
+      "cb_intranode: expected enable|disable|automatic (got " + value + ")");
+}
+
+[[nodiscard]] inline LeaderPolicy parse_leader_policy(const std::string& value) {
+  if (value == "lowest") return LeaderPolicy::Lowest;
+  if (value == "spread") return LeaderPolicy::Spread;
+  throw std::invalid_argument(
+      "cb_intranode_leader: expected lowest|spread (got " + value + ")");
+}
+
+}  // namespace parcoll::node

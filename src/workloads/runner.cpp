@@ -31,11 +31,14 @@ mpiio::Hints RunSpec::hints() const {
   hints.parcoll_min_group_size = min_group_size;
   hints.parcoll_view_switch = view_switch;
   hints.parcoll_persistent_groups = persistent_groups;
+  hints.cb_intranode = intranode;
+  hints.cb_intranode_leader = intranode_leader;
   return hints;
 }
 
 machine::MachineModel RunSpec::model(int nranks) const {
-  machine::MachineModel model = machine::MachineModel::jaguar(nranks, mapping);
+  machine::MachineModel model =
+      machine::MachineModel::jaguar(nranks, mapping, cores_per_node);
   if (tweak_model) {
     tweak_model(model);
   }

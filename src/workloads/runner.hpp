@@ -45,6 +45,12 @@ struct RunSpec {
   /// Record per-rank time intervals; the result carries the trace.
   bool trace = false;
   machine::Mapping mapping = machine::Mapping::Block;
+  /// Processes per physical node (the paper's dual-core PEs).
+  int cores_per_node = 2;
+  /// Two-level collective I/O: aggregate requests within each node before
+  /// the inter-node exchange. Off keeps the historical single-level runs.
+  node::IntranodeMode intranode = node::IntranodeMode::Off;
+  node::LeaderPolicy intranode_leader = node::LeaderPolicy::Lowest;
   /// Optional calibration tweak applied to the machine model before a run.
   std::function<void(machine::MachineModel&)> tweak_model;
   /// Deterministic fault plan injected into the run (empty = fault-free;

@@ -1,11 +1,17 @@
 // Topology (block/cyclic rank->node mapping) and the machine model defaults.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "machine/machine_model.hpp"
 #include "sim/random.hpp"
 
 namespace parcoll::machine {
 namespace {
+
+std::vector<int> as_vector(std::span<const int> ranks) {
+  return {ranks.begin(), ranks.end()};
+}
 
 TEST(Topology, BlockMappingMatchesPaperFig5) {
   // Fig. 5 block column: N0(P0,P1) N1(P2,P3) N2(P4,P5) N3(P6,P7).
@@ -16,8 +22,8 @@ TEST(Topology, BlockMappingMatchesPaperFig5) {
   EXPECT_EQ(topo.node_of(2), 1);
   EXPECT_EQ(topo.node_of(5), 2);
   EXPECT_EQ(topo.node_of(7), 3);
-  EXPECT_EQ(topo.ranks_on_node(0), (std::vector<int>{0, 1}));
-  EXPECT_EQ(topo.ranks_on_node(3), (std::vector<int>{6, 7}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(0)), (std::vector<int>{0, 1}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(3)), (std::vector<int>{6, 7}));
 }
 
 TEST(Topology, CyclicMappingMatchesPaperFig5) {
@@ -28,14 +34,51 @@ TEST(Topology, CyclicMappingMatchesPaperFig5) {
   EXPECT_EQ(topo.node_of(4), 0);
   EXPECT_EQ(topo.node_of(1), 1);
   EXPECT_EQ(topo.node_of(6), 2);
-  EXPECT_EQ(topo.ranks_on_node(0), (std::vector<int>{0, 4}));
-  EXPECT_EQ(topo.ranks_on_node(2), (std::vector<int>{2, 6}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(0)), (std::vector<int>{0, 4}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(2)), (std::vector<int>{2, 6}));
 }
 
 TEST(Topology, UnevenLastNode) {
   const Topology topo(7, 2, Mapping::Block);
   EXPECT_EQ(topo.num_nodes(), 4);
-  EXPECT_EQ(topo.ranks_on_node(3), (std::vector<int>{6}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(3)), (std::vector<int>{6}));
+}
+
+TEST(Topology, CyclicUnevenTailWrapsShortNodes) {
+  // 7 ranks over 4 nodes, cyclic: node_of(r) = r % 4, so node 3 only sees
+  // the first pass (no rank 7 to wrap around onto it).
+  const Topology topo(7, 2, Mapping::Cyclic);
+  EXPECT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(as_vector(topo.ranks_on_node(0)), (std::vector<int>{0, 4}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(2)), (std::vector<int>{2, 6}));
+  EXPECT_EQ(as_vector(topo.ranks_on_node(3)), (std::vector<int>{3}));
+}
+
+TEST(Topology, SingleCorePlacesOneRankPerNode) {
+  const Topology topo(5, 1, Mapping::Cyclic);
+  EXPECT_EQ(topo.num_nodes(), 5);
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(topo.node_of(r), r);
+    EXPECT_EQ(as_vector(topo.ranks_on_node(r)), (std::vector<int>{r}));
+  }
+}
+
+TEST(Topology, RanksOnNodePartitionsAllRanks) {
+  // The precomputed per-node lists must partition [0, nranks) for both
+  // mappings, including non-divisible counts.
+  for (const Mapping mapping : {Mapping::Block, Mapping::Cyclic}) {
+    const Topology topo(11, 4, mapping);
+    std::vector<int> seen;
+    for (int n = 0; n < topo.num_nodes(); ++n) {
+      const auto ranks = topo.ranks_on_node(n);
+      for (std::size_t i = 0; i < ranks.size(); ++i) {
+        EXPECT_EQ(topo.node_of(ranks[i]), n);
+        if (i > 0) EXPECT_LT(ranks[i - 1], ranks[i]);  // ascending
+        seen.push_back(ranks[i]);
+      }
+    }
+    EXPECT_EQ(seen.size(), 11u);
+  }
 }
 
 TEST(Topology, BadArgumentsThrow) {

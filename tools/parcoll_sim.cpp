@@ -47,6 +47,12 @@ void usage(const char* argv0) {
       "  --no-persistent-groups  re-partition on every collective call\n"
       "  --cb-nodes N            aggregator nodes (default: all processes)\n"
       "  --cb-buffer BYTES       collective buffer size (default 4 MiB)\n"
+      "  --cores-per-node N      processes per physical node (default 2)\n"
+      "  --mapping block|cyclic  rank-to-node placement (default block)\n"
+      "  --intranode MODE        two-level intra-node aggregation:\n"
+      "                          on|off|auto (default auto)\n"
+      "  --no-intranode          shorthand for --intranode off\n"
+      "  --leader lowest|spread  intra-node leader selection (default lowest)\n"
       "  --read                  measure collective read instead of write\n"
       "  --steps N               BT-IO time steps (default 3)\n"
       "  --nvars N               Flash variables (default 24)\n"
@@ -85,6 +91,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   RunSpec spec;
   spec.byte_true = false;
+  spec.intranode = node::IntranodeMode::Auto;
   int osts = 0;
   std::uint64_t seed = 0;
 
@@ -115,6 +122,35 @@ int main(int argc, char** argv) {
       spec.cb_nodes = std::stoi(next());
     } else if (arg == "--cb-buffer") {
       spec.cb_buffer_size = std::stoull(next());
+    } else if (arg == "--cores-per-node") {
+      spec.cores_per_node = std::stoi(next());
+    } else if (arg == "--mapping") {
+      const std::string value = next();
+      if (value == "block") {
+        spec.mapping = machine::Mapping::Block;
+      } else if (value == "cyclic") {
+        spec.mapping = machine::Mapping::Cyclic;
+      } else {
+        std::fprintf(stderr, "bad --mapping (block|cyclic): %s\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--intranode") {
+      try {
+        spec.intranode = node::parse_intranode_mode(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--no-intranode") {
+      spec.intranode = node::IntranodeMode::Off;
+    } else if (arg == "--leader") {
+      try {
+        spec.intranode_leader = node::parse_leader_policy(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
     } else if (arg == "--read") {
       write = false;
     } else if (arg == "--steps") {
@@ -207,6 +243,11 @@ int main(int argc, char** argv) {
     std::printf(" (groups used: %d%s)", result.stats.last_num_groups,
                 result.stats.view_switches ? ", intermediate views" : "");
   }
+  if (result.stats.intranode_calls > 0) {
+    std::printf(" (two-level: %llu calls, %.1f MiB intra-node)",
+                static_cast<unsigned long long>(result.stats.intranode_calls),
+                static_cast<double>(result.stats.intranode_bytes) / (1 << 20));
+  }
   std::printf("\n");
   std::printf("bytes     : %.1f MiB\n",
               static_cast<double>(result.bytes) / (1 << 20));
@@ -214,12 +255,13 @@ int main(int argc, char** argv) {
   std::printf("bandwidth : %.1f MiB/s\n", result.bandwidth_mib());
   const double total = result.sum.total();
   std::printf("breakdown : compute %.1f%%  p2p %.1f%%  sync %.1f%%  io %.1f%%"
-              "  faulted %.1f%%  (rank-seconds: %.2f)\n",
+              "  faulted %.1f%%  intra %.1f%%  (rank-seconds: %.2f)\n",
               100 * result.sum[mpi::TimeCat::Compute] / total,
               100 * result.sum[mpi::TimeCat::P2P] / total,
               100 * result.sum[mpi::TimeCat::Sync] / total,
               100 * result.sum[mpi::TimeCat::IO] / total,
-              100 * result.sum[mpi::TimeCat::Faulted] / total, total);
+              100 * result.sum[mpi::TimeCat::Faulted] / total,
+              100 * result.sum[mpi::TimeCat::Intra] / total, total);
   std::printf("fs        : %llu RPCs, %llu lock revocations\n",
               static_cast<unsigned long long>(result.fs_rpcs),
               static_cast<unsigned long long>(result.fs_lock_switches));

@@ -2,8 +2,8 @@
 // figures (or your own) with external tooling.
 //
 // Emits one CSV row per (workload, impl, nprocs, groups) combination:
-//   workload,impl,nprocs,groups,groups_used,mode,bytes,elapsed_s,
-//   bandwidth_mib,sync_share,io_share,rpcs,lock_revocations
+//   workload,impl,nprocs,groups,groups_used,mode,intranode,bytes,elapsed_s,
+//   bandwidth_mib,sync_share,io_share,intra_share,rpcs,lock_revocations
 //
 // Examples:
 //   parcoll_sweep --workload tileio --procs 64,128,256,512 
@@ -71,6 +71,10 @@ int main(int argc, char** argv) {
   int steps = 2;
   int nvars = 8;
   bool bt_row_aggregators = true;
+  int cores_per_node = 2;
+  auto mapping = machine::Mapping::Block;
+  auto intranode = node::IntranodeMode::Off;
+  auto leader = node::LeaderPolicy::Lowest;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -91,24 +95,59 @@ int main(int argc, char** argv) {
       steps = std::stoi(next());
     } else if (arg == "--nvars") {
       nvars = std::stoi(next());
+    } else if (arg == "--cores-per-node") {
+      cores_per_node = std::stoi(next());
+    } else if (arg == "--mapping") {
+      const std::string value = next();
+      if (value == "block") {
+        mapping = machine::Mapping::Block;
+      } else if (value == "cyclic") {
+        mapping = machine::Mapping::Cyclic;
+      } else {
+        std::fprintf(stderr, "bad --mapping (block|cyclic): %s\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (arg == "--intranode") {
+      try {
+        intranode = node::parse_intranode_mode(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--no-intranode") {
+      intranode = node::IntranodeMode::Off;
+    } else if (arg == "--leader") {
+      try {
+        leader = node::parse_leader_policy(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--workload tileio|ior|btio|flash] "
                    "[--procs 64,128,...] [--groups 0,8,auto,...] "
-                   "[--steps N] [--nvars N]\n",
+                   "[--steps N] [--nvars N] [--cores-per-node N] "
+                   "[--mapping block|cyclic] [--intranode on|off|auto] "
+                   "[--no-intranode] [--leader lowest|spread]\n",
                    argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
 
-  std::printf("workload,impl,nprocs,groups,groups_used,mode,bytes,"
-              "elapsed_s,bandwidth_mib,sync_share,io_share,rpcs,"
+  std::printf("workload,impl,nprocs,groups,groups_used,mode,intranode,bytes,"
+              "elapsed_s,bandwidth_mib,sync_share,io_share,intra_share,rpcs,"
               "lock_revocations\n");
   for (const std::string& proc_str : procs) {
     const int nprocs = std::stoi(proc_str);
     for (const std::string& group_str : groups) {
       RunSpec spec;
       spec.byte_true = false;
+      spec.cores_per_node = cores_per_node;
+      spec.mapping = mapping;
+      spec.intranode = intranode;
+      spec.intranode_leader = leader;
       std::string impl;
       if (group_str == "0") {
         spec.impl = Impl::Ext2ph;
@@ -125,16 +164,19 @@ int main(int argc, char** argv) {
       }
       const RunResult result = run_one(workload, nprocs, spec, steps, nvars);
       const double total = result.sum.total();
-      std::printf("%s,%s,%d,%s,%d,%s,%llu,%.6f,%.1f,%.4f,%.4f,%llu,%llu\n",
-                  workload.c_str(), impl.c_str(), nprocs, group_str.c_str(),
-                  result.stats.last_num_groups,
-                  result.stats.view_switches ? "intermediate" : "direct",
-                  static_cast<unsigned long long>(result.bytes),
-                  result.elapsed, result.bandwidth_mib(),
-                  result.sum[mpi::TimeCat::Sync] / total,
-                  result.sum[mpi::TimeCat::IO] / total,
-                  static_cast<unsigned long long>(result.fs_rpcs),
-                  static_cast<unsigned long long>(result.fs_lock_switches));
+      std::printf(
+          "%s,%s,%d,%s,%d,%s,%s,%llu,%.6f,%.1f,%.4f,%.4f,%.4f,%llu,%llu\n",
+          workload.c_str(), impl.c_str(), nprocs, group_str.c_str(),
+          result.stats.last_num_groups,
+          result.stats.view_switches ? "intermediate" : "direct",
+          result.stats.intranode_calls > 0 ? "two-level" : "flat",
+          static_cast<unsigned long long>(result.bytes),
+          result.elapsed, result.bandwidth_mib(),
+          result.sum[mpi::TimeCat::Sync] / total,
+          result.sum[mpi::TimeCat::IO] / total,
+          result.sum[mpi::TimeCat::Intra] / total,
+          static_cast<unsigned long long>(result.fs_rpcs),
+          static_cast<unsigned long long>(result.fs_lock_switches));
       std::fflush(stdout);
     }
   }
