@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("abl_adaptive_groups", argc, argv);
 
   header("Ablation: adaptive group size",
          "auto vs hand-tuned subgroup counts");
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
     std::printf("  %-14s %10.1f %12.1f %12.1f (%d)\n", "tile-io/512",
                 base.bandwidth_mib(), tuned.bandwidth_mib(),
                 automatic.bandwidth_mib(), automatic.stats.last_num_groups);
+    report.add("tileio/baseline", nprocs, base);
+    report.add("tileio/tuned", nprocs, tuned);
+    report.add("tileio/auto", nprocs, automatic);
   }
   {
     const int nprocs = parcoll::bench::scaled(smoke, 256);
@@ -48,6 +52,9 @@ int main(int argc, char** argv) {
     std::printf("  %-14s %10.1f %12.1f %12.1f (%d)\n", "ior/256",
                 base.bandwidth_mib(), tuned.bandwidth_mib(),
                 automatic.bandwidth_mib(), automatic.stats.last_num_groups);
+    report.add("ior/baseline", nprocs, base);
+    report.add("ior/tuned", nprocs, tuned);
+    report.add("ior/auto", nprocs, automatic);
   }
   {
     const int nprocs = parcoll::bench::scaled_square(smoke, 256);
@@ -64,6 +71,9 @@ int main(int argc, char** argv) {
     std::printf("  %-14s %10.1f %12.1f %12.1f (%d)\n", "bt-io/256",
                 base.bandwidth_mib(), tuned.bandwidth_mib(),
                 automatic.bandwidth_mib(), automatic.stats.last_num_groups);
+    report.add("btio/baseline", nprocs, base);
+    report.add("btio/tuned", nprocs, tuned);
+    report.add("btio/auto", nprocs, automatic);
   }
   footnote("auto lands on the clean-split count (tile-io, ior) and on");
   footnote("sqrt(P) intermediate groups (bt-io) without hand tuning");

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_cb_buffer", argc, argv);
   const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto config = workloads::TileIOConfig::paper(nprocs);
   header("Ablation: collective buffer size",
@@ -32,6 +33,9 @@ int main(int argc, char** argv) {
     std::printf("  %8llu KiB %14.1f %14.1f\n",
                 static_cast<unsigned long long>(cb >> 10), b.bandwidth_mib(),
                 p.bandwidth_mib());
+    const std::string suffix = "/cb=" + std::to_string(cb >> 10) + "KiB";
+    report.add("cray" + suffix, nprocs, b);
+    report.add("parcoll-32" + suffix, nprocs, p);
   }
   footnote("bigger windows buy both fewer synchronizations at the cost of");
   footnote("per-aggregator staging memory; ParColl leads at every size and");

@@ -38,15 +38,20 @@ void fault_row(const std::string& series, const workloads::RunResult& r) {
       static_cast<unsigned long long>(r.faults.stalls));
 }
 
-void scenario(const std::string& title, const workloads::IorConfig& config,
-              int nprocs, const fault::FaultPlan& plan) {
+void scenario(BenchReport& report, const std::string& title,
+              const workloads::IorConfig& config, int nprocs,
+              const fault::FaultPlan& plan) {
   std::printf("%s\n", title.c_str());
   auto cray = baseline_spec();
   cray.fault = plan;
-  fault_row("Cray (ext2ph)", workloads::run_ior(config, nprocs, cray, true));
+  const auto cray_result = workloads::run_ior(config, nprocs, cray, true);
+  fault_row("Cray (ext2ph)", cray_result);
+  report.add(title + "/cray", nprocs, cray_result);
   auto parcoll = parcoll_spec(8);
   parcoll.fault = plan;
-  fault_row("ParColl-8", workloads::run_ior(config, nprocs, parcoll, true));
+  const auto parcoll_result = workloads::run_ior(config, nprocs, parcoll, true);
+  fault_row("ParColl-8", parcoll_result);
+  report.add(title + "/parcoll-8", nprocs, parcoll_result);
 }
 
 }  // namespace
@@ -55,20 +60,21 @@ int main(int argc, char** argv) {
   const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   const int nprocs = parcoll::bench::scaled(smoke, 128);
   const workloads::IorConfig config;
+  BenchReport report("abl_fault_resilience", argc, argv);
 
   header("Ablation: fault resilience",
          "IOR (P=128), identical deterministic fault plans per scenario");
 
-  scenario("fault-free", config, nprocs, fault::FaultPlan{});
+  scenario(report, "fault-free", config, nprocs, fault::FaultPlan{});
 
   // One target dark from t=1s on: every chunk aimed at OST 3 times out,
   // retries, then fails over to the next surviving OST.
-  scenario("OST 3 outage (t>=1s)", config, nprocs,
+  scenario(report, "OST 3 outage (t>=1s)", config, nprocs,
            fault::FaultPlan::parse("seed=7;ost-outage=3:1:1e9;"
                                    "timeout=0.01;backoff=0.005:0.04"));
 
   // Lossy fabric: 2% of RPCs swallowed, 5% delayed by 5 ms.
-  scenario("lossy network", config, nprocs,
+  scenario(report, "lossy network", config, nprocs,
            fault::FaultPlan::parse("seed=7;rpc-drop=0.02;rpc-delay=0.05:0.005;"
                                    "timeout=0.01;backoff=0.005:0.04"));
 
@@ -77,7 +83,7 @@ int main(int argc, char** argv) {
   // straggler, so all four stalls serialize into the global critical
   // path; under ParColl only the straggler's own subgroup waits and the
   // stalls overlap across drifting groups.
-  scenario("rank stalls (4 x 5s)", config, nprocs,
+  scenario(report, "rank stalls (4 x 5s)", config, nprocs,
            fault::FaultPlan::parse("seed=7;rank-stall=0:2:5;"
                                    "rank-stall=17:4:5;rank-stall=64:6:5;"
                                    "rank-stall=100:8:5"));

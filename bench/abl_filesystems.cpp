@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_filesystems", argc, argv);
   header("Ablation: file systems",
          "Tile-IO (P=256), baseline vs ParColl-32 per storage personality");
   std::printf("  %-12s %14s %14s %8s\n", "storage", "Cray (MiB/s)",
@@ -48,6 +49,8 @@ int main(int argc, char** argv) {
     std::printf("  %-12s %14.1f %14.1f %7.2fx\n", personality.name,
                 b.bandwidth_mib(), p.bandwidth_mib(),
                 p.bandwidth() / b.bandwidth());
+    report.add(std::string(personality.name) + "/cray", nprocs, b);
+    report.add(std::string(personality.name) + "/parcoll-32", nprocs, p);
   }
   footnote("the wall is synchronization: partitioning pays on every");
   footnote("storage personality, with file-system-specific magnitudes");

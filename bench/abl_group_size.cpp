@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_group_size", argc, argv);
   const int nprocs = parcoll::bench::scaled(smoke, 256);
   header("Ablation: group size",
          "bandwidth (MiB/s) vs subgroup count, 256 processes");
@@ -26,20 +27,25 @@ int main(int argc, char** argv) {
   flash_config.nvars = 8;  // scaled
 
   std::printf("  %-10s %12s %12s %12s\n", "groups", "tile-io", "ior", "flash");
-  const auto run_all = [&](const workloads::RunSpec& spec) {
+  const auto run_all = [&](const std::string& label,
+                           const workloads::RunSpec& spec) {
     const auto tile = workloads::run_tileio(tile_config, nprocs, spec, true);
     const auto ior = workloads::run_ior(ior_config, nprocs, spec, true);
     const auto flash = workloads::run_flashio(flash_config, nprocs, spec, true);
     std::printf("%12.1f %12.1f %12.1f\n", tile.bandwidth_mib(),
                 ior.bandwidth_mib(), flash.bandwidth_mib());
+    report.add("tileio/" + label, nprocs, tile);
+    report.add("ior/" + label, nprocs, ior);
+    report.add("flash/" + label, nprocs, flash);
   };
 
   std::printf("  %-10s ", "baseline");
-  run_all(baseline_spec());
+  run_all("baseline", baseline_spec());
   for (int groups : {2, 4, 8, 16, 32, 64, 128}) {
     if (groups > nprocs) continue;  // smoke runs shrink the sweep with P
     std::printf("  %-10d ", groups);
-    run_all(parcoll_spec(groups, /*min_group_size=*/2));
+    run_all("groups=" + std::to_string(groups),
+            parcoll_spec(groups, /*min_group_size=*/2));
   }
   footnote("over-partitioning eventually hurts every workload; the knee");
   footnote("depends on the access pattern (clean-split structure)");

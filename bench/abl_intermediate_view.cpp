@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_intermediate_view", argc, argv);
   header("Ablation: intermediate file views", "view switch on vs off");
 
   {
@@ -22,13 +23,17 @@ int main(int argc, char** argv) {
     auto spec = parcoll_spec(std::min(16, nprocs / 2), /*min_group_size=*/2);
     spec.cb_nodes = 16;
     std::printf("  BT-IO class C, 256 procs, ParColl-16:\n");
-    row("baseline (ext2ph)",
-        workloads::run_btio(config, nprocs, baseline_spec(), true));
+    const auto base = workloads::run_btio(config, nprocs, baseline_spec(), true);
+    row("baseline (ext2ph)", base);
+    report.add("btio/baseline", nprocs, base);
     spec.view_switch = true;
-    row("view switch on", workloads::run_btio(config, nprocs, spec, true));
+    const auto on = workloads::run_btio(config, nprocs, spec, true);
+    row("view switch on", on);
+    report.add("btio/view-on", nprocs, on);
     spec.view_switch = false;
     const auto off = workloads::run_btio(config, nprocs, spec, true);
     row("view switch off", off);
+    report.add("btio/view-off", nprocs, off);
     std::printf("    (off -> %d group(s): partitioning impossible)\n",
                 off.stats.last_num_groups);
   }
@@ -40,11 +45,13 @@ int main(int argc, char** argv) {
                 " splits):\n");
     auto spec = parcoll_spec(std::min(128, nprocs / 2), /*min_group_size=*/2);
     spec.view_switch = true;
-    row("view switch on (interm.)",
-        workloads::run_tileio(config, nprocs, spec, true));
+    const auto on = workloads::run_tileio(config, nprocs, spec, true);
+    row("view switch on (interm.)", on);
+    report.add("tileio/view-on", nprocs, on);
     spec.view_switch = false;
     const auto off = workloads::run_tileio(config, nprocs, spec, true);
     row("view switch off", off);
+    report.add("tileio/view-off", nprocs, off);
     std::printf("    (off falls back to %d direct groups)\n",
                 off.stats.last_num_groups);
   }

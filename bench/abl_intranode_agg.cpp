@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_intranode_agg", argc, argv);
   const int nprocs = scaled(smoke, 256);
   const auto config = workloads::TileIOConfig::paper(nprocs);
 
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
                 result.bandwidth_mib(), result.elapsed,
                 result.stats.time[mpi::TimeCat::Sync],
                 result.stats.time[mpi::TimeCat::Intra]);
+    report.add(std::string(name) + "/c=" + std::to_string(cores), nprocs,
+               result);
     return result;
   };
 

@@ -22,28 +22,31 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_lock_model", argc, argv);
   header("Ablation: lock model", "with vs without DLM revocation costs");
   std::printf("  %-34s %12s %12s\n", "configuration", "with locks",
               "lock-free");
 
+  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto compare = [&](const std::string& name,
                            const std::function<workloads::RunResult(
                                const workloads::RunSpec&)>& run,
-                           workloads::RunSpec spec) {
+                           workloads::RunSpec spec, int run_nprocs) {
     const auto with = run(spec);
     spec.tweak_model = disable_locks;
     const auto without = run(spec);
     std::printf("  %-34s %10.1f %12.1f  MiB/s\n", name.c_str(),
                 with.bandwidth_mib(), without.bandwidth_mib());
+    report.add(name + "/locks", run_nprocs, with);
+    report.add(name + "/lock-free", run_nprocs, without);
   };
 
-  const int nprocs = parcoll::bench::scaled(smoke, 256);
   const auto tile_config = workloads::TileIOConfig::paper(nprocs);
   const auto tile = [&](const workloads::RunSpec& spec) {
     return workloads::run_tileio(tile_config, nprocs, spec, true);
   };
-  compare("tile-io baseline", tile, baseline_spec());
-  compare("tile-io ParColl-32", tile, parcoll_spec(32));
+  compare("tile-io baseline", tile, baseline_spec(), nprocs);
+  compare("tile-io ParColl-32", tile, parcoll_spec(32), nprocs);
 
   workloads::BtIOConfig bt_config;
   bt_config.nsteps = 2;
@@ -53,16 +56,16 @@ int main(int argc, char** argv) {
   };
   auto bt_spec = parcoll_spec(16);
   bt_spec.cb_nodes = 16;
-  compare("bt-io baseline", bt, baseline_spec());
-  compare("bt-io ParColl-16 (interm.)", bt, bt_spec);
+  compare("bt-io baseline", bt, baseline_spec(), bt_nprocs);
+  compare("bt-io ParColl-16 (interm.)", bt, bt_spec, bt_nprocs);
 
   workloads::FlashConfig flash_config;
   flash_config.nvars = 6;  // scaled
   const auto flash = [&](const workloads::RunSpec& spec) {
     return workloads::run_flashio(flash_config, nprocs, spec, true);
   };
-  compare("flash posix (w/o coll)", flash, posix_spec());
-  compare("flash ParColl-32", flash, parcoll_spec(32));
+  compare("flash posix (w/o coll)", flash, posix_spec(), nprocs);
+  compare("flash ParColl-32", flash, parcoll_spec(32), nprocs);
 
   footnote("sync-driven gaps survive lock-free; independent-write collapse");
   footnote("and part of the intermediate-view cost are lock-driven");

@@ -18,18 +18,24 @@ int main(int argc, char** argv) {
   workloads::IorConfig config;
   config.block_size = 256ull << 20;  // 64 collective calls per process
 
+  BenchReport report("abl_persistent_groups", argc, argv);
   header("Ablation: persistent subgroups",
          "IOR, 64 collective calls per process (P=256)");
-  row("Cray (ext2ph)",
-      workloads::run_ior(config, nprocs, baseline_spec(), true));
+  const auto base = workloads::run_ior(config, nprocs, baseline_spec(), true);
+  row("Cray (ext2ph)", base);
+  report.add("cray", nprocs, base);
   for (int groups : {8, 32}) {
     auto persistent = parcoll_spec(groups);
-    row("ParColl-" + std::to_string(groups) + " persistent",
-        workloads::run_ior(config, nprocs, persistent, true));
+    const auto kept = workloads::run_ior(config, nprocs, persistent, true);
+    row("ParColl-" + std::to_string(groups) + " persistent", kept);
+    report.add("parcoll-" + std::to_string(groups) + "/persistent", nprocs,
+               kept);
     auto per_call = parcoll_spec(groups);
     per_call.persistent_groups = false;
-    row("ParColl-" + std::to_string(groups) + " per-call",
-        workloads::run_ior(config, nprocs, per_call, true));
+    const auto fresh = workloads::run_ior(config, nprocs, per_call, true);
+    row("ParColl-" + std::to_string(groups) + " per-call", fresh);
+    report.add("parcoll-" + std::to_string(groups) + "/per-call", nprocs,
+               fresh);
   }
   footnote("per-call partitioning re-couples all groups on every call and");
   footnote("loses most of the drift benefit");

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
 
+  BenchReport report("abl_seeds", argc, argv);
   header("Ablation: seed robustness",
          "Tile-IO P=256, baseline vs ParColl-32 across jitter seeds");
   std::printf("  %-8s %14s %14s %8s\n", "seed", "Cray (MiB/s)",
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
     std::printf("  %-8llu %14.1f %14.1f %7.2fx\n",
                 static_cast<unsigned long long>(seed), b.bandwidth_mib(),
                 p.bandwidth_mib(), ratio);
+    report.add("cray/seed=" + std::to_string(seed), nprocs, b);
+    report.add("parcoll-32/seed=" + std::to_string(seed), nprocs, p);
   }
   std::printf("  ratio range across seeds: %.2fx .. %.2fx\n", min_ratio,
               max_ratio);

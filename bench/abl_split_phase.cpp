@@ -25,7 +25,8 @@ struct Outcome {
   double sync_share;
 };
 
-Outcome run(int nprocs, bool split, int groups, double compute_seconds) {
+Outcome run(int nprocs, bool split, int groups, double compute_seconds,
+            workloads::RunResult* out = nullptr) {
   mpi::World world(machine::MachineModel::jaguar(nprocs), /*byte_true=*/false);
   const auto config = workloads::TileIOConfig::paper(nprocs);
   mpiio::Hints hints;
@@ -66,6 +67,12 @@ Outcome run(int nprocs, bool split, int groups, double compute_seconds) {
   for (const auto& breakdown : world.rank_times()) {
     sync += breakdown[mpi::TimeCat::Sync];
   }
+  if (out != nullptr) {
+    out->elapsed = elapsed;
+    out->bytes = config.rank_bytes() * static_cast<std::uint64_t>(nprocs) *
+                 static_cast<std::uint64_t>(kSteps);
+    for (const auto& breakdown : world.rank_times()) out->sum += breakdown;
+  }
   return Outcome{elapsed, total > 0 ? sync / total : 0};
 }
 
@@ -74,20 +81,25 @@ Outcome run(int nprocs, bool split, int groups, double compute_seconds) {
 int main(int argc, char** argv) {
   const bool smoke = parcoll::bench::smoke_requested(argc, argv);
   using namespace parcoll::bench;
+  BenchReport report("abl_split_phase", argc, argv);
   header("Ablation: split-phase collective I/O",
          "overlap hides I/O, not synchronization (paper §2.3)");
   const int nprocs = parcoll::bench::scaled(smoke, 256);
   const double compute = 1.0;  // seconds of computation per step
 
   std::printf("  %-34s %10s %12s\n", "configuration", "elapsed", "sync share");
-  const auto print = [](const char* name, const Outcome& outcome) {
+  const auto measure = [&](const char* name, const std::string& series,
+                           bool split, int groups) {
+    workloads::RunResult result;
+    const Outcome outcome = run(nprocs, split, groups, compute, &result);
     std::printf("  %-34s %8.2f s %11.1f%%\n", name, outcome.elapsed,
                 100.0 * outcome.sync_share);
+    report.add(series, nprocs, result);
   };
-  print("blocking, baseline", run(nprocs, false, 0, compute));
-  print("split-phase, baseline", run(nprocs, true, 0, compute));
-  print("split-phase, ParColl-32", run(nprocs, true, 32, compute));
-  print("blocking, ParColl-32", run(nprocs, false, 32, compute));
+  measure("blocking, baseline", "blocking/baseline", false, 0);
+  measure("split-phase, baseline", "split/baseline", true, 0);
+  measure("split-phase, ParColl-32", "split/parcoll-32", true, 32);
+  measure("blocking, ParColl-32", "blocking/parcoll-32", false, 32);
 
   footnote("split-phase shortens elapsed time by hiding I/O behind compute,");
   footnote("but the synchronization inside the collective remains; ParColl");

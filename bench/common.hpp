@@ -7,8 +7,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <string>
+#include <utility>
 
+#include "obs/run_export.hpp"
 #include "workloads/runner.hpp"
 
 namespace parcoll::bench {
@@ -61,6 +64,56 @@ inline void breakdown_row(int nprocs, const workloads::RunResult& result) {
               result.sum[TimeCat::Sync], result.sum[TimeCat::IO],
               result.sum.total(), 100.0 * result.sync_fraction());
 }
+
+/// Machine-readable bench export: `--json FILE` makes the bench write a
+/// versioned "parcoll-run" document with one point per measured run, for
+/// tools/bench_to_trajectory and the CI perf-trajectory job. Without the
+/// flag every method is a no-op, so benches call add() unconditionally.
+class BenchReport {
+ public:
+  BenchReport(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)), points_(obs::JsonValue::array()) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+    smoke_ = smoke_requested(argc, argv);
+  }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  /// Record one measured point (series label + process count + result).
+  void add(const std::string& series, int nprocs,
+           const workloads::RunResult& result) {
+    if (path_.empty()) return;
+    obs::JsonValue point = obs::JsonValue::object();
+    point.set("series", series)
+        .set("nprocs", nprocs)
+        .set("bandwidth_mib_s", result.bandwidth_mib())
+        .set("elapsed_s", result.elapsed)
+        .set("sync_fraction", result.sync_fraction())
+        .set("result", workloads::run_result_json(result));
+    points_.push(std::move(point));
+  }
+
+  ~BenchReport() {
+    if (path_.empty()) return;
+    try {
+      obs::JsonValue config = obs::JsonValue::object();
+      config.set("smoke", smoke_);
+      obs::JsonValue doc = obs::run_document(bench_, std::move(config));
+      doc.set("points", std::move(points_));
+      obs::write_json_file(path_, doc);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "bench json: %s\n", error.what());
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  bool smoke_ = false;
+  obs::JsonValue points_;
+};
 
 inline workloads::RunSpec baseline_spec() {
   workloads::RunSpec spec;

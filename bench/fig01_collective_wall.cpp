@@ -8,9 +8,10 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig01_collective_wall", argc, argv);
 
   header("Figure 1", "the collective wall: sync share of MPI-Tile-IO time");
   std::printf("  %6s %12s %12s %12s\n", "nprocs", "sync share", "io share",
@@ -24,6 +25,7 @@ int main() {
                 100.0 * result.sync_fraction(),
                 100.0 * result.sum[mpi::TimeCat::IO] / total,
                 result.bandwidth_mib());
+    report.add("cray", nprocs, result);
   }
   footnote("paper: sync grows to dominance, 72% of total at 512 processes");
   return 0;

@@ -7,9 +7,10 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig02_time_breakdown", argc, argv);
 
   header("Figure 2",
          "MPI-Tile-IO time breakdown (seconds, summed over ranks)");
@@ -22,6 +23,7 @@ int main() {
     const auto result =
         workloads::run_tileio(config, nprocs, baseline_spec(), /*write=*/true);
     breakdown_row(nprocs, result);
+    report.add("cray", nprocs, result);
     prev_sync = result.sum[mpi::TimeCat::Sync];
     prev_io = result.sum[mpi::TimeCat::IO];
   }

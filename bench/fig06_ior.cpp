@@ -9,22 +9,26 @@
 #include "bench/common.hpp"
 #include "workloads/ior.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig06_ior", argc, argv);
 
   header("Figure 6", "IOR collective write, 512 MB/process in 4 MB transfers");
   const workloads::IorConfig config;  // paper parameters
 
   for (int nprocs : {128, 512}) {
     std::printf("  --- %d processes ---\n", nprocs);
-    row("Cray (ext2ph)",
-        workloads::run_ior(config, nprocs, baseline_spec(), /*write=*/true));
+    const auto base =
+        workloads::run_ior(config, nprocs, baseline_spec(), /*write=*/true);
+    row("Cray (ext2ph)", base);
+    report.add("cray", nprocs, base);
     for (int groups : {2, 8, 16, 32, 64}) {
       if (groups * 8 > nprocs) continue;  // least group size of 8
       const auto result = workloads::run_ior(config, nprocs,
                                              parcoll_spec(groups), true);
       row("ParColl-" + std::to_string(groups), result);
+      report.add("parcoll-" + std::to_string(groups), nprocs, result);
     }
   }
   footnote("paper: 380 MB/s -> 5301 MB/s at 512 procs (12.8x) with ParColl");

@@ -11,9 +11,10 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig07_tileio_groups", argc, argv);
 
   const int nprocs = 512;
   const auto config = workloads::TileIOConfig::paper(nprocs);
@@ -21,8 +22,11 @@ int main() {
 
   for (const bool write : {true, false}) {
     std::printf("  --- collective %s ---\n", write ? "write" : "read");
-    row("Cray (ext2ph)",
-        workloads::run_tileio(config, nprocs, baseline_spec(), write));
+    const std::string mode = write ? "write" : "read";
+    const auto base =
+        workloads::run_tileio(config, nprocs, baseline_spec(), write);
+    row("Cray (ext2ph)", base);
+    report.add(mode + "/cray", nprocs, base);
     for (int groups : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
       // min group size 2 so the over-partitioned regime is reachable.
       auto spec = parcoll_spec(groups, /*min_group_size=*/2);
@@ -30,6 +34,7 @@ int main() {
       std::string label = "ParColl-" + std::to_string(groups);
       if (result.stats.view_switches > 0) label += " (interm.)";
       row(label, result);
+      report.add(mode + "/parcoll-" + std::to_string(groups), nprocs, result);
     }
   }
   footnote("paper: best at 64 subgroups (+210% write, +180% read); sharp");

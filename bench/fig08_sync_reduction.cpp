@@ -7,25 +7,28 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig08_sync_reduction", argc, argv);
 
   const int nprocs = 512;
   const auto config = workloads::TileIOConfig::paper(nprocs);
   header("Figure 8", "synchronization cost vs number of subgroups (P=512)");
   std::printf("  %-22s %14s %12s\n", "series", "sync (rank-s)", "sync share");
 
-  const auto print = [](const std::string& series,
-                        const workloads::RunResult& result) {
+  const auto print = [&](const std::string& series, const std::string& key,
+                         const workloads::RunResult& result) {
     std::printf("  %-22s %12.2f s %11.1f%%\n", series.c_str(),
                 result.sum[mpi::TimeCat::Sync],
                 100.0 * result.sync_fraction());
+    report.add(key, nprocs, result);
   };
-  print("Cray (ext2ph)",
+  print("Cray (ext2ph)", "cray",
         workloads::run_tileio(config, nprocs, baseline_spec(), true));
   for (int groups : {2, 4, 8, 16, 32, 64}) {
     print("ParColl-" + std::to_string(groups),
+          "parcoll-" + std::to_string(groups),
           workloads::run_tileio(config, nprocs, parcoll_spec(groups), true));
   }
   footnote("paper: sync reduced in both absolute value and relative ratio");

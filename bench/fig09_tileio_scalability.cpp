@@ -6,9 +6,10 @@
 #include "bench/common.hpp"
 #include "workloads/tileio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig09_tileio_scalability", argc, argv);
 
   header("Figure 9", "MPI-Tile-IO collective-write scalability");
   std::printf("  %6s %14s %14s %8s\n", "nprocs", "Cray (MiB/s)",
@@ -23,6 +24,8 @@ int main() {
         config, nprocs, parcoll_spec(nprocs / 8), true);
     std::printf("  %6d %14.1f %14.1f %7.2fx\n", nprocs, base.bandwidth_mib(),
                 best.bandwidth_mib(), best.bandwidth() / base.bandwidth());
+    report.add("cray", nprocs, base);
+    report.add("parcoll-best", nprocs, best);
   }
   footnote("paper: 2.7 GB/s vs 11.4 GB/s at 1024 processes (4.16x)");
   return 0;

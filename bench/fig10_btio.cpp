@@ -14,9 +14,10 @@
 #include "bench/common.hpp"
 #include "workloads/btio.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig10_btio", argc, argv);
 
   header("Figure 10", "NAS BT-IO class C (full mode), 3 of 40 steps");
   workloads::BtIOConfig config;  // class C
@@ -37,6 +38,9 @@ int main() {
     std::printf("  %6d %14.1f %14.1f %7.2fx %14.1f\n", nprocs,
                 base.bandwidth_mib(), best.bandwidth_mib(),
                 best.bandwidth() / base.bandwidth(), epio.bandwidth_mib());
+    report.add("cray", nprocs, base);
+    report.add("parcoll", nprocs, best);
+    report.add("epio", nprocs, epio);
   }
   footnote("paper: ParColl wins at every P; patterns require intermediate");
   footnote("file views (Fig 4c); best absolute performance mid-range");

@@ -14,40 +14,49 @@
 
 #include <string>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  BenchReport report("fig11_flashio", argc, argv);
 
   const int nprocs = 1024;
   const workloads::FlashConfig config;  // paper parameters
   header("Figure 11", "Flash I/O checkpoint write, 1024 processes (486 GB)");
 
+  const auto add_row = [&](const std::string& label, const std::string& key,
+                           const workloads::RunResult& result) {
+    row(label, result);
+    report.add(key, nprocs, result);
+  };
+
   std::printf("  --- default I/O aggregator selection ---\n");
-  row("Cray (ext2ph)",
-      workloads::run_flashio(config, nprocs, baseline_spec(), true));
-  row("ParColl-64",
-      workloads::run_flashio(config, nprocs, parcoll_spec(64), true));
+  add_row("Cray (ext2ph)", "default/cray",
+          workloads::run_flashio(config, nprocs, baseline_spec(), true));
+  add_row("ParColl-64", "default/parcoll-64",
+          workloads::run_flashio(config, nprocs, parcoll_spec(64), true));
 
   std::printf("  --- 64 I/O aggregators (cb_nodes = 64) ---\n");
   {
     auto spec = baseline_spec();
     spec.cb_nodes = 64;
-    row("Cray (ext2ph)", workloads::run_flashio(config, nprocs, spec, true));
+    add_row("Cray (ext2ph)", "cb64/cray",
+            workloads::run_flashio(config, nprocs, spec, true));
   }
   {
     auto spec = parcoll_spec(64);
     spec.cb_nodes = 64;
-    row("ParColl-64", workloads::run_flashio(config, nprocs, spec, true));
+    add_row("ParColl-64", "cb64/parcoll-64",
+            workloads::run_flashio(config, nprocs, spec, true));
   }
 
   std::printf("  --- through the HDF5 container (the paper's stack) ---\n");
   {
     // Bulk data plus HDF5 metadata (dataset table flushes, per-block
     // record datasets), as real Flash I/O writes it.
-    row("Cray (ext2ph, h5)",
-        workloads::run_flashio_h5(config, nprocs, baseline_spec()));
-    row("ParColl-64 (h5)",
-        workloads::run_flashio_h5(config, nprocs, parcoll_spec(64)));
+    add_row("Cray (ext2ph, h5)", "h5/cray",
+            workloads::run_flashio_h5(config, nprocs, baseline_spec()));
+    add_row("ParColl-64 (h5)", "h5/parcoll-64",
+            workloads::run_flashio_h5(config, nprocs, parcoll_spec(64)));
   }
 
   std::printf("  --- without collective I/O ---\n");
@@ -56,7 +65,8 @@ int main() {
     // with locked read-modify-write windows.
     auto spec = posix_spec();
     spec.impl = workloads::Impl::Sieving;
-    row("Cray w/o Coll", workloads::run_flashio(config, nprocs, spec, true));
+    add_row("Cray w/o Coll", "sieving/cray",
+            workloads::run_flashio(config, nprocs, spec, true));
   }
 
   footnote("paper: ParColl-64 +38.5% over the default; w/o collective I/O");

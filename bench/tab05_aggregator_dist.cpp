@@ -13,9 +13,12 @@
 #include "core/aggregator_dist.hpp"
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parcoll;
   using namespace parcoll::bench;
+  // Structural table (no timed runs): --json still writes a valid document
+  // with an empty points array, so tooling can treat every bench uniformly.
+  BenchReport report("tab05_aggregator_dist", argc, argv);
 
   header("Figure 5", "distribution of I/O aggregators (paper's example)");
 

@@ -7,7 +7,9 @@
 #include "core/intermediate_view.hpp"
 #include "core/subgroup.hpp"
 #include "mpi/collectives.hpp"
+#include "mpi/trace.hpp"
 #include "mpiio/ext2ph.hpp"
+#include "obs/metrics.hpp"
 #include "mpiio/sieve.hpp"
 #include "node/hier_coll.hpp"
 #include "node/intra_agg.hpp"
@@ -155,6 +157,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     // The pattern-detection allgather is the one remaining global exchange;
     // under two-level staging it funnels through the node leaders, so the
     // inter-node stage involves num_nodes participants instead of P.
+    mpi::SpanGuard partition_span(self, obs::SpanKind::Stage, "partition");
     const machine::Topology& topo = self.world().model().topology;
     const auto accesses =
         node::two_level_active(hints.cb_intranode, topo, comm)
@@ -187,6 +190,23 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   outcome.mode = plan.fa.mode;
   outcome.num_groups = plan.fa.num_groups;
   options.aggregators = plan.sub_aggregators;
+  // Everything from here runs subgroup-local; the span labels descendants
+  // (re-election, exchange cycles, I/O) with this rank's subgroup.
+  mpi::SpanGuard subgroup_span(self, obs::SpanKind::Subgroup, "subgroup",
+                               plan.my_group);
+  // Per-subgroup call/cycle counters, recorded once per call by the
+  // subgroup's first rank (mirrors the FileStats call-level convention).
+  auto record_group_metrics = [&](const CollectiveOutcome& out) {
+    auto* metrics = self.world().metrics();
+    if (metrics == nullptr ||
+        plan.subcomm.local_rank(self.rank()) != 0) {
+      return;
+    }
+    const auto group = static_cast<std::size_t>(
+        plan.my_group >= 0 ? plan.my_group : 0);
+    ++metrics->counter("parcoll.group.calls", group);
+    metrics->counter("parcoll.group.cycles", group) += out.cycles;
+  };
 
   // Degraded mode: when the fault plan schedules rank stalls, the subgroup
   // agrees on a common time (a max-reduction over its members' clocks) and
@@ -196,6 +216,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   // cannot perturb fault-free timing.
   const fault::FaultPlan* fplan = self.world().fault_plan();
   if (fplan != nullptr && fplan->has_rank_stalls()) {
+    mpi::SpanGuard reelect_span(self, obs::SpanKind::Stage, "reelect");
     const machine::Topology& topo = self.world().model().topology;
     const double agreed =
         node::two_level_active(hints.cb_intranode, topo, plan.subcomm)
@@ -219,6 +240,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, comm, hints, target, request, options, is_write,
                   outcome);
+    record_group_metrics(outcome);
     return outcome;
   }
 
@@ -227,6 +249,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, plan.subcomm, hints, target, request, options,
                   is_write, outcome);
+    record_group_metrics(outcome);
     return outcome;
   }
 
@@ -264,6 +287,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   request.data = prep.data();
   run_two_phase(self, plan.subcomm, hints, target, request, options, is_write,
                 outcome);
+  record_group_metrics(outcome);
   return outcome;
 }
 
@@ -294,6 +318,7 @@ CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
                                const void* buffer, std::uint64_t count,
                                const dtype::Datatype& memtype) {
   file.require_writable();
+  mpi::SpanGuard call_span(file.self(), obs::SpanKind::Call, "write_at_all");
   const auto before = file.time_snapshot();
   const fault::FaultCounters faults_before =
       file.self().world().fault_counters(file.self().rank());
@@ -327,6 +352,7 @@ CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
                               void* buffer, std::uint64_t count,
                               const dtype::Datatype& memtype) {
   file.require_readable();
+  mpi::SpanGuard call_span(file.self(), obs::SpanKind::Call, "read_at_all");
   const auto before = file.time_snapshot();
   const fault::FaultCounters faults_before =
       file.self().world().fault_counters(file.self().rank());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace parcoll::fs {
 
 LustreSim::LustreSim(sim::Engine& engine,
@@ -83,6 +85,20 @@ double LustreSim::submit(int client, int file_id,
     if (rpc.bytes == 0) return;
     // Client CPU to build and issue the RPC.
     engine_.sleep(params_.client_rpc_overhead);
+    if (metrics_ != nullptr) {
+      // OST backlog at issue time: how long this RPC will queue behind
+      // already-accepted work (a seconds-denominated queue depth).
+      const double backlog = std::max(
+          0.0, osts_[static_cast<std::size_t>(ost_index)].busy_until() -
+                   engine_.now());
+      metrics_->histogram("fs.ost.queue_wait_s", obs::latency_bounds_s())
+          .observe(backlog);
+      metrics_->gauge_max("fs.ost.queue_depth_s",
+                          static_cast<std::size_t>(ost_index), backlog);
+      ++metrics_->counter("fs.ost.rpcs", static_cast<std::size_t>(ost_index));
+      metrics_->counter("fs.ost.bytes", static_cast<std::size_t>(ost_index)) +=
+          rpc.bytes;
+    }
     if (fault_plan_ == nullptr) {
       const ServeOutcome outcome =
           osts_[static_cast<std::size_t>(ost_index)].serve(

@@ -29,6 +29,10 @@
 #include "machine/machine_model.hpp"
 #include "sim/engine.hpp"
 
+namespace parcoll::obs {
+class MetricsRegistry;
+}  // namespace parcoll::obs
+
 namespace parcoll::fs {
 
 struct FileMeta {
@@ -78,6 +82,10 @@ class LustreSim {
   /// Attach a fault plan; forwarded to every OST (nulls detach).
   void set_fault(const fault::FaultPlan* plan, fault::FaultState* state);
 
+  /// Attach a metrics registry (null detaches). Recording observes the
+  /// clock and OST backlog but never sleeps, so timing is unchanged.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
   [[nodiscard]] std::uint64_t file_size(int file_id) const {
     return store_->size(file_id);
   }
@@ -100,6 +108,7 @@ class LustreSim {
   sim::Engine& engine_;
   const fault::FaultPlan* fault_plan_ = nullptr;
   fault::FaultState* fault_state_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   machine::StorageParams params_;
   RangeLockManager range_locks_;
   std::unique_ptr<ObjectStore> store_;

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <optional>
 #include <tuple>
 
 #include "mpi/p2p.hpp"
 #include "mpi/runtime.hpp"
+#include "mpi/trace.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 
 namespace parcoll::mpi {
@@ -123,10 +126,20 @@ std::shared_ptr<const CollContribs> CollEngine::exchange(
   }
 
   // Running again at the completion time: charge the synchronization wait.
-  self.times().add(TimeCat::Sync, engine_.now() - arrival);
+  const double sync_wait = engine_.now() - arrival;
+  self.times().add(TimeCat::Sync, sync_wait);
 
   auto result = ops_.at(key).result;
   Op& done = ops_.at(key);
+  if (auto* metrics = self.world().metrics()) {
+    metrics->histogram("mpi.coll.sync_wait_s", obs::latency_bounds_s())
+        .observe(sync_wait);
+    // How far behind the last arriver this rank showed up: the straggler
+    // itself observes lag 0, everyone it kept waiting observes its slack.
+    metrics->histogram("mpi.coll.straggler_lag_s", obs::latency_bounds_s())
+        .observe(done.max_arrival - arrival);
+    ++metrics->counter(std::string("mpi.coll.calls.") + to_string(kind));
+  }
   if (++done.fetched == done.expected) {
     ops_.erase(key);
   }
@@ -141,6 +154,15 @@ std::shared_ptr<const CollContribs> coll_run(Rank& self, const Comm& comm,
                                              CollKind kind,
                                              std::vector<std::byte> contribution) {
   self.maybe_fault_stall();
+  // A standalone collective (one issued outside any collective-I/O call,
+  // e.g. a workload-level barrier) opens its own Call span so its sync
+  // time stays attributable in the wall report. Inside a call, the
+  // enclosing cycle/stage spans already label the wait.
+  std::optional<SpanGuard> call_span;
+  if (Tracer* tracer = self.world().tracer();
+      tracer != nullptr && !tracer->spans().in_call(self.pid())) {
+    call_span.emplace(self, obs::SpanKind::Call, to_string(kind));
+  }
   return self.world().colls().exchange(self, comm, kind, std::move(contribution));
 }
 

@@ -7,6 +7,7 @@
 #include "mpi/collectives.hpp"
 #include "mpi/p2p.hpp"
 #include "mpi/trace.hpp"
+#include "obs/metrics.hpp"
 
 namespace parcoll::mpi {
 
@@ -50,7 +51,8 @@ Rank::Rank(World& world, int rank)
     throw std::logic_error("Rank must be constructed on a process fiber");
   }
   if (world.tracer() != nullptr) {
-    times_.attach_tracer(world.tracer(), world.engine().now_address(), rank);
+    times_.attach_tracer(world.tracer(), world.engine().now_address(), rank,
+                         static_cast<std::uint64_t>(pid_));
   }
 }
 
@@ -59,6 +61,14 @@ Tracer& World::enable_tracing() {
     tracer_ = std::make_unique<Tracer>();
   }
   return *tracer_;
+}
+
+obs::MetricsRegistry& World::enable_metrics() {
+  if (!metrics_) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    fs_->set_metrics(metrics_.get());
+  }
+  return *metrics_;
 }
 
 void World::set_fault(const fault::FaultPlan& plan) {

@@ -28,6 +28,10 @@ class LustreSim;
 enum class StoreMode;
 }  // namespace parcoll::fs
 
+namespace parcoll::obs {
+class MetricsRegistry;
+}  // namespace parcoll::obs
+
 namespace parcoll::mpi {
 
 class P2PEngine;
@@ -70,6 +74,13 @@ class World {
   Tracer& enable_tracing();
   [[nodiscard]] Tracer* tracer() { return tracer_.get(); }
 
+  /// Collect counters/gauges/histograms for this run (call before run()).
+  /// Null when disabled: every instrumentation site guards with
+  /// `if (auto* m = world.metrics())`, so the off path costs one pointer
+  /// test and cannot perturb simulated time.
+  obs::MetricsRegistry& enable_metrics();
+  [[nodiscard]] obs::MetricsRegistry* metrics() { return metrics_.get(); }
+
   /// Install a fault plan (call before run()). An empty plan is never
   /// installed, so the fault-free path stays free of fault bookkeeping.
   void set_fault(const fault::FaultPlan& plan);
@@ -111,6 +122,7 @@ class World {
   std::vector<TimeBreakdown> rank_times_;
   std::unordered_map<std::string, std::shared_ptr<void>> objects_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;
   fault::FaultState fault_state_;
   double elapsed_ = 0.0;

@@ -7,7 +7,7 @@ namespace parcoll::mpi {
 void TimeAccount::add(TimeCat cat, double dt) {
   breakdown_.seconds[static_cast<std::size_t>(cat)] += dt;
   if (tracer_ != nullptr && now_ != nullptr) {
-    tracer_->record(rank_, cat, *now_ - dt, *now_);
+    tracer_->record(stream_, rank_, cat, *now_ - dt, *now_);
   }
 }
 

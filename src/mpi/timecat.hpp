@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
 namespace parcoll::mpi {
 
@@ -45,11 +46,18 @@ class Tracer;
 class TimeAccount {
  public:
   /// Route every subsequent charge into `tracer` as an interval ending at
-  /// the current value of *now (the engine clock).
-  void attach_tracer(Tracer* tracer, const double* now, int rank) {
+  /// the current value of *now (the engine clock). `stream` identifies the
+  /// recording fiber (defaults to the rank id for single-fiber ranks), so
+  /// helper fibers sharing a rank id keep their own span nesting.
+  void attach_tracer(Tracer* tracer, const double* now, int rank,
+                     std::uint64_t stream) {
     tracer_ = tracer;
     now_ = now;
     rank_ = rank;
+    stream_ = stream;
+  }
+  void attach_tracer(Tracer* tracer, const double* now, int rank) {
+    attach_tracer(tracer, now, rank, static_cast<std::uint64_t>(rank));
   }
 
   void add(TimeCat cat, double dt);
@@ -62,6 +70,7 @@ class TimeAccount {
   Tracer* tracer_ = nullptr;
   const double* now_ = nullptr;
   int rank_ = 0;
+  std::uint64_t stream_ = 0;
 };
 
 [[nodiscard]] const char* to_string(TimeCat cat);

@@ -5,23 +5,40 @@
 #include <ostream>
 #include <sstream>
 
+#include "mpi/runtime.hpp"
+
 namespace parcoll::mpi {
+
+const std::vector<TraceEvent>& Tracer::events() const {
+  if (dirty_) {
+    events_.clear();
+    for (const obs::Span& span : store_.spans()) {
+      if (span.kind == obs::SpanKind::Phase) {
+        events_.push_back(
+            TraceEvent{span.rank, span.cat, span.begin, span.end});
+      }
+    }
+    dirty_ = false;
+  }
+  return events_;
+}
 
 void Tracer::write_csv(std::ostream& os) const {
   os << "rank,category,begin,end\n";
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : events()) {
     os << event.rank << ',' << to_string(event.cat) << ',' << event.begin
        << ',' << event.end << '\n';
   }
 }
 
 std::string Tracer::gantt(int width, int max_ranks) const {
-  if (events_.empty() || width <= 0) {
+  const std::vector<TraceEvent>& evs = events();
+  if (evs.empty() || width <= 0) {
     return "(no trace events)\n";
   }
   double horizon = 0;
   int nranks = 0;
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : evs) {
     horizon = std::max(horizon, event.end);
     nranks = std::max(nranks, event.rank + 1);
   }
@@ -31,7 +48,7 @@ std::string Tracer::gantt(int width, int max_ranks) const {
   // Per (row, bin): time per category; pick the dominant one.
   std::vector<std::array<double, kNumTimeCats>> cells(
       static_cast<std::size_t>(rows * width));
-  for (const TraceEvent& event : events_) {
+  for (const TraceEvent& event : evs) {
     if (event.rank >= rows) continue;
     const int first = std::min(width - 1, static_cast<int>(event.begin / bin));
     const int last = std::min(width - 1, static_cast<int>(event.end / bin));
@@ -71,6 +88,26 @@ std::string Tracer::gantt(int width, int max_ranks) const {
     os << "(+" << nranks - rows << " more ranks)\n";
   }
   return os.str();
+}
+
+SpanGuard::SpanGuard(Rank& self, obs::SpanKind kind, const char* name,
+                     std::int64_t group, std::int64_t cycle) {
+  Tracer* tracer = self.world().tracer();
+  if (tracer == nullptr) {
+    return;
+  }
+  tracer_ = tracer;
+  rank_ = &self;
+  id_ = tracer->spans().open(static_cast<std::uint64_t>(self.pid()),
+                             self.rank(), kind, name, self.now(), group,
+                             cycle);
+}
+
+SpanGuard::~SpanGuard() {
+  if (tracer_ != nullptr) {
+    tracer_->spans().close(static_cast<std::uint64_t>(rank_->pid()), id_,
+                           rank_->now());
+  }
 }
 
 }  // namespace parcoll::mpi

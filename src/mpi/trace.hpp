@@ -1,10 +1,14 @@
 // Execution tracing: per-rank timelines of where virtual time goes.
 //
-// When enabled on a World, every charge to a rank's TimeAccount also
-// records an interval (rank, category, begin, end). The trace can be
-// exported as CSV for external tooling, or rendered as a text Gantt chart
-// — which makes the collective wall visible: synchronization intervals
-// piling up behind the slowest rank of each cycle.
+// When enabled on a World, every charge to a rank's TimeAccount records a
+// Phase leaf in a hierarchical span store (obs::SpanStore): collective
+// calls, ParColl subgroups, and exchange/I-O cycles open enclosing spans,
+// so each interval knows *which cycle of which call* produced it. The
+// original flat TraceEvent list, the CSV export, and the text Gantt chart
+// survive as views over the Phase leaves — which still make the collective
+// wall visible: synchronization intervals piling up behind the slowest
+// rank of each cycle. The span tree additionally feeds the Chrome-trace
+// exporter and the wall-report analysis (src/obs/).
 #pragma once
 
 #include <cstdint>
@@ -13,8 +17,11 @@
 #include <vector>
 
 #include "mpi/timecat.hpp"
+#include "obs/span.hpp"
 
 namespace parcoll::mpi {
+
+class Rank;
 
 struct TraceEvent {
   int rank = 0;
@@ -25,16 +32,33 @@ struct TraceEvent {
 
 class Tracer {
  public:
+  /// Record a completed interval (a Phase leaf under the stream's
+  /// currently open span). Empty and negative intervals are dropped. The
+  /// stream identifies the recording fiber; the two-argument form uses the
+  /// rank id, which is only correct when the rank runs a single fiber
+  /// (tests and hand-rolled traces).
+  void record(std::uint64_t stream, int rank, TimeCat cat, double begin,
+              double end) {
+    store_.leaf(stream, rank, cat, begin, end);
+    dirty_ = true;
+  }
   void record(int rank, TimeCat cat, double begin, double end) {
-    if (end > begin) {
-      events_.push_back(TraceEvent{rank, cat, begin, end});
-    }
+    record(static_cast<std::uint64_t>(rank), rank, cat, begin, end);
   }
 
-  [[nodiscard]] const std::vector<TraceEvent>& events() const {
-    return events_;
+  /// The structured span tree (calls, subgroups, stages, phase leaves).
+  [[nodiscard]] const obs::SpanStore& spans() const { return store_; }
+  [[nodiscard]] obs::SpanStore& spans() { return store_; }
+
+  /// Flat view of the Phase leaves, in recording order — the historical
+  /// TraceEvent interface. Rebuilt lazily after new recordings.
+  [[nodiscard]] const std::vector<TraceEvent>& events() const;
+
+  void clear() {
+    store_.clear();
+    events_.clear();
+    dirty_ = false;
   }
-  void clear() { events_.clear(); }
 
   /// CSV: rank,category,begin,end (header included).
   void write_csv(std::ostream& os) const;
@@ -46,7 +70,28 @@ class Tracer {
   [[nodiscard]] std::string gantt(int width = 72, int max_ranks = 16) const;
 
  private:
-  std::vector<TraceEvent> events_;
+  obs::SpanStore store_;
+  mutable std::vector<TraceEvent> events_;
+  mutable bool dirty_ = false;
+};
+
+/// RAII structural span: opens a Call/Subgroup/Stage span on construction
+/// and closes it on destruction. A no-op when the world's tracer is off,
+/// so protocol code can scope spans unconditionally. Never advances the
+/// simulated clock.
+class SpanGuard {
+ public:
+  SpanGuard(Rank& self, obs::SpanKind kind, const char* name,
+            std::int64_t group = -1, std::int64_t cycle = -1);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  Tracer* tracer_ = nullptr;
+  Rank* rank_ = nullptr;
+  obs::SpanId id_ = obs::kNoSpan;
 };
 
 }  // namespace parcoll::mpi

@@ -8,6 +8,7 @@
 
 #include "mpi/collectives.hpp"
 #include "mpi/p2p.hpp"
+#include "mpi/trace.hpp"
 
 namespace parcoll::mpiio {
 
@@ -363,7 +364,10 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
                            IoTarget& target, const CollRequest& request,
                            const Ext2phOptions& options) {
   Ext2phOutcome outcome;
-  const Plan plan = make_plan(self, comm, request, options);
+  const Plan plan = [&] {
+    mpi::SpanGuard plan_span(self, obs::SpanKind::Stage, "plan");
+    return make_plan(self, comm, request, options);
+  }();
   if (!plan.active) return outcome;
 
   const int naggs = static_cast<int>(options.aggregators.size());
@@ -382,6 +386,8 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
 
   std::vector<std::byte> window_buffer;
   for (std::uint64_t t = 0; t < plan.ntimes; ++t) {
+    mpi::SpanGuard cycle_span(self, obs::SpanKind::Stage, "cycle",
+                              /*group=*/-1, static_cast<std::int64_t>(t));
     // My pieces for each aggregator's current window, and the size vector.
     std::vector<std::uint32_t> send_sizes(static_cast<std::size_t>(plan.nranks), 0);
     std::vector<std::pair<int, std::vector<Piece>>> cycle_sends;
@@ -489,7 +495,12 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
   }
 
   // Trailing status agreement (ROMIO reduces error codes).
-  mpi::allreduce_max(self, comm, 0);
+  {
+    mpi::SpanGuard finalize_span(self, obs::SpanKind::Stage, "finalize",
+                                 /*group=*/-1,
+                                 static_cast<std::int64_t>(plan.ntimes));
+    mpi::allreduce_max(self, comm, 0);
+  }
   return outcome;
 }
 
@@ -497,7 +508,10 @@ Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
                           IoTarget& target, const CollRequest& request,
                           const Ext2phOptions& options) {
   Ext2phOutcome outcome;
-  const Plan plan = make_plan(self, comm, request, options);
+  const Plan plan = [&] {
+    mpi::SpanGuard plan_span(self, obs::SpanKind::Stage, "plan");
+    return make_plan(self, comm, request, options);
+  }();
   if (!plan.active) return outcome;
 
   const int naggs = static_cast<int>(options.aggregators.size());
@@ -514,6 +528,8 @@ Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
 
   std::vector<std::byte> window_buffer;
   for (std::uint64_t t = 0; t < plan.ntimes; ++t) {
+    mpi::SpanGuard cycle_span(self, obs::SpanKind::Stage, "cycle",
+                              /*group=*/-1, static_cast<std::int64_t>(t));
     // What I want from each aggregator's window this cycle.
     std::vector<std::uint32_t> want_sizes(static_cast<std::size_t>(plan.nranks), 0);
     std::vector<std::pair<int, std::vector<Piece>>> cycle_wants;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mpi/p2p.hpp"
+#include "mpi/trace.hpp"
 
 namespace parcoll::node {
 
@@ -141,6 +142,9 @@ std::uint64_t run_sole_leader(mpi::Rank& self, mpiio::IoTarget& target,
   std::size_t i = 0;
   std::uint64_t stream_off = 0;
   while (i < merged.extents.size()) {
+    mpi::SpanGuard cycle_span(self, obs::SpanKind::Stage, "local-cycle",
+                              /*group=*/-1,
+                              static_cast<std::int64_t>(cycles));
     std::uint64_t batch = 0;
     std::size_t j = i;
     while (j < merged.extents.size() &&
@@ -242,6 +246,7 @@ TwoLevelOutcome two_level_write(mpi::Rank& self, const NodeComm& nodes,
                                 const mpiio::Ext2phOptions& leader_options) {
   TwoLevelOutcome outcome;
   if (!nodes.i_lead()) {
+    mpi::SpanGuard ship_span(self, obs::SpanKind::Stage, "intra-ship");
     outcome.intra_bytes = ship_to_leader(self, nodes, request, true);
     return outcome;
   }
@@ -254,16 +259,21 @@ TwoLevelOutcome two_level_write(mpi::Rank& self, const NodeComm& nodes,
     return outcome;
   }
   const bool byte_true = self.world().byte_true();
-  auto members = gather_member_requests(self, nodes, request, true);
-  const Merged merged = merge_extents(members);
+  std::vector<MemberReq> members;
+  Merged merged;
   std::vector<std::byte> stream;
-  if (byte_true && merged.total > 0) {
-    stream.assign(merged.total, std::byte{0});
+  {
+    mpi::SpanGuard gather_span(self, obs::SpanKind::Stage, "intra-gather");
+    members = gather_member_requests(self, nodes, request, true);
+    merged = merge_extents(members);
+    if (byte_true && merged.total > 0) {
+      stream.assign(merged.total, std::byte{0});
+    }
+    const std::uint64_t own_staged =
+        stage_into(members, merged, nodes.leader_node_local,
+                   stream.empty() ? nullptr : stream.data());
+    self.busy(mpi::TimeCat::Intra, memcpy_seconds(self, own_staged));
   }
-  const std::uint64_t own_staged =
-      stage_into(members, merged, nodes.leader_node_local,
-                 stream.empty() ? nullptr : stream.data());
-  self.busy(mpi::TimeCat::Intra, memcpy_seconds(self, own_staged));
 
   if (nodes.leader_comm.size() == 1) {
     outcome.cycles = run_sole_leader(self, target, merged,
@@ -287,6 +297,7 @@ TwoLevelOutcome two_level_read(mpi::Rank& self, const NodeComm& nodes,
   TwoLevelOutcome outcome;
   mpi::P2PEngine& p2p = self.world().p2p();
   if (!nodes.i_lead()) {
+    mpi::SpanGuard ship_span(self, obs::SpanKind::Stage, "intra-ship");
     outcome.intra_bytes = ship_to_leader(self, nodes, request, false);
     const std::uint64_t total = request.total_bytes();
     if (total > 0) {
@@ -304,11 +315,16 @@ TwoLevelOutcome two_level_read(mpi::Rank& self, const NodeComm& nodes,
     return outcome;
   }
   const bool byte_true = self.world().byte_true();
-  auto members = gather_member_requests(self, nodes, request, false);
-  const Merged merged = merge_extents(members);
+  std::vector<MemberReq> members;
+  Merged merged;
   std::vector<std::byte> stream;
-  if (byte_true && merged.total > 0) {
-    stream.assign(merged.total, std::byte{0});
+  {
+    mpi::SpanGuard gather_span(self, obs::SpanKind::Stage, "intra-gather");
+    members = gather_member_requests(self, nodes, request, false);
+    merged = merge_extents(members);
+    if (byte_true && merged.total > 0) {
+      stream.assign(merged.total, std::byte{0});
+    }
   }
   if (nodes.leader_comm.size() == 1) {
     outcome.cycles = run_sole_leader(self, target, merged,
@@ -327,6 +343,7 @@ TwoLevelOutcome two_level_read(mpi::Rank& self, const NodeComm& nodes,
   // the inbound staging, each member pulls its slice out of the shared
   // window from its own core, so the reply transfers carry the copy cost
   // and run concurrently. The leader only pays for its own local slice.
+  mpi::SpanGuard scatter_span(self, obs::SpanKind::Stage, "intra-scatter");
   std::uint64_t own_sliced = 0;
   std::vector<std::vector<std::byte>> replies(members.size());
   std::vector<mpi::Request> pending;

@@ -1,0 +1,55 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace parcoll::obs {
+
+void write_chrome_trace(std::ostream& os, const SpanStore& store) {
+  JsonValue events = JsonValue::array();
+
+  int nranks = 0;
+  for (const Span& span : store.spans()) {
+    nranks = std::max(nranks, span.rank + 1);
+  }
+  // Thread-name metadata rows so the timeline is labeled per rank.
+  for (int r = 0; r < nranks; ++r) {
+    JsonValue meta = JsonValue::object();
+    meta.set("ph", "M")
+        .set("name", "thread_name")
+        .set("pid", 0)
+        .set("tid", r);
+    JsonValue args = JsonValue::object();
+    args.set("name", "rank " + std::to_string(r));
+    meta.set("args", std::move(args));
+    events.push(std::move(meta));
+  }
+
+  for (const Span& span : store.spans()) {
+    JsonValue ev = JsonValue::object();
+    ev.set("ph", "X")
+        .set("name", span.name)
+        .set("cat", to_string(span.kind))
+        .set("ts", span.begin * 1e6)
+        .set("dur", (span.end - span.begin) * 1e6)
+        .set("pid", 0)
+        .set("tid", span.rank);
+    JsonValue args = JsonValue::object();
+    if (span.call >= 0) args.set("call", span.call);
+    if (span.group >= 0) args.set("group", span.group);
+    if (span.cycle >= 0) args.set("cycle", span.cycle);
+    ev.set("args", std::move(args));
+    events.push(std::move(ev));
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  os << doc.dump(1) << '\n';
+}
+
+}  // namespace parcoll::obs

@@ -1,0 +1,17 @@
+// Chrome trace-event (a.k.a. Perfetto legacy JSON) export of a span tree.
+//
+// Emits "X" complete events — one per span, timestamps in microseconds,
+// tid = rank — so a traced run loads directly in chrome://tracing or
+// ui.perfetto.dev. Structural spans nest by containment within a tid;
+// Phase leaves carry their TimeCat as the event category.
+#pragma once
+
+#include <iosfwd>
+
+namespace parcoll::obs {
+
+class SpanStore;
+
+void write_chrome_trace(std::ostream& os, const SpanStore& store);
+
+}  // namespace parcoll::obs

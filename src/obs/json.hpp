@@ -1,0 +1,91 @@
+// Minimal JSON document model: build, serialize, parse.
+//
+// The observability exporters (Chrome trace, run/bench JSON, the wall
+// report) and the trajectory tooling all speak JSON; this keeps the repo
+// dependency-free. Objects preserve insertion order so exported documents
+// are deterministic and diff-friendly; integers are kept exact (separate
+// from doubles) so counters round-trip bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace parcoll::obs {
+
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(int v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(long v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(unsigned v) : value_(static_cast<std::uint64_t>(v)) {}
+  JsonValue(unsigned long v) : value_(static_cast<std::uint64_t>(v)) {}
+  JsonValue(unsigned long long v) : value_(static_cast<std::uint64_t>(v)) {}
+  JsonValue(double v) : value_(v) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(std::string_view s) : value_(std::string(s)) {}
+
+  static JsonValue object() { return JsonValue(Object{}); }
+  static JsonValue array() { return JsonValue(Array{}); }
+
+  [[nodiscard]] Type type() const {
+    return static_cast<Type>(value_.index());
+  }
+  [[nodiscard]] bool is_object() const { return type() == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type() == Type::Array; }
+  [[nodiscard]] bool is_number() const {
+    return type() == Type::Int || type() == Type::Uint ||
+           type() == Type::Double;
+  }
+
+  /// Object: append (or overwrite) a member. Returns *this for chaining.
+  JsonValue& set(std::string key, JsonValue value);
+  /// Array: append an element.
+  void push(JsonValue value);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  /// Numeric value as double, whatever the underlying numeric type.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const Array& items() const { return std::get<Array>(value_); }
+  [[nodiscard]] const Object& members() const {
+    return std::get<Object>(value_);
+  }
+
+  /// Serialize. `indent < 0` emits the compact form; `indent >= 0` pretty
+  /// prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (throws std::runtime_error with a
+  /// character position on malformed input or trailing garbage).
+  static JsonValue parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Array a) : value_(std::move(a)) {}
+  explicit JsonValue(Object o) : value_(std::move(o)) {}
+
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, Array, Object>
+      value_;
+};
+
+}  // namespace parcoll::obs

@@ -1,0 +1,81 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace parcoll::obs {
+
+void HistogramData::observe(double value) {
+  if (counts.empty()) {
+    counts.resize(bounds.size() + 1, 0);
+  }
+  std::size_t bucket = bounds.size();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (value <= bounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts[bucket];
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+std::uint64_t& MetricsRegistry::counter(const std::string& name,
+                                        std::size_t index) {
+  return counters_[indexed(name, index)];
+}
+
+double& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+void MetricsRegistry::gauge_max(const std::string& name, double value) {
+  auto [it, inserted] = gauges_.try_emplace(name, value);
+  if (!inserted) {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::gauge_max(const std::string& name, std::size_t index,
+                                double value) {
+  gauge_max(indexed(name, index), value);
+}
+
+HistogramData& MetricsRegistry::histogram(const std::string& name,
+                                          const std::vector<double>& bounds) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second.bounds = bounds;
+    it->second.counts.resize(bounds.size() + 1, 0);
+  }
+  return it->second;
+}
+
+std::string MetricsRegistry::indexed(const std::string& name,
+                                     std::size_t index) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), "[%04zu]", index);
+  return name + suffix;
+}
+
+const std::vector<double>& latency_bounds_s() {
+  // Decade-ish buckets from 1 µs to 100 s: wide enough for sync waits on
+  // the fig-2 workloads and fault-injected runs alike.
+  static const std::vector<double> kBounds = {
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+  return kBounds;
+}
+
+}  // namespace parcoll::obs

@@ -1,0 +1,77 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// The registry is owned by the World and is null when observability is
+// off; every instrumentation site guards with `if (auto* m = ...)` so the
+// disabled path costs one pointer test and never perturbs simulated time.
+// Instrument names use dotted paths ("parcoll.sync_wait_s"); per-index
+// series (one counter per OST, per subgroup, ...) get a zero-padded
+// "[0003]" suffix so exports sort naturally. Storage is an ordered map,
+// making every export deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parcoll::obs {
+
+/// Fixed-bucket histogram: counts[i] holds observations <= bounds[i], the
+/// final slot is the overflow bucket. Also tracks count/sum/min/max so
+/// means and extremes survive coarse bucketing.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 slots
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  void observe(double value);
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter; creates it at zero on first use.
+  std::uint64_t& counter(const std::string& name);
+  /// Indexed counter series, e.g. counter("fs.ost.bytes", ost_index).
+  std::uint64_t& counter(const std::string& name, std::size_t index);
+
+  /// Last-value gauge.
+  double& gauge(const std::string& name);
+  /// Running-maximum gauge (e.g. peak queue depth).
+  void gauge_max(const std::string& name, double value);
+  void gauge_max(const std::string& name, std::size_t index, double value);
+
+  /// Histogram with the given bucket bounds; bounds are fixed on first use
+  /// and later calls with the same name reuse the existing instrument.
+  HistogramData& histogram(const std::string& name,
+                           const std::vector<double>& bounds);
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, HistogramData>& histograms() const {
+    return histograms_;
+  }
+
+  /// "name[0003]": zero-padded so lexicographic order == numeric order.
+  [[nodiscard]] static std::string indexed(const std::string& name,
+                                           std::size_t index);
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+/// Shared bucket layouts (seconds) for the standard latency histograms.
+[[nodiscard]] const std::vector<double>& latency_bounds_s();
+
+}  // namespace parcoll::obs

@@ -1,0 +1,145 @@
+#include "obs/run_export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "fault/fault.hpp"
+#include "mpi/timecat.hpp"
+#include "mpiio/stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace parcoll::obs {
+
+JsonValue time_breakdown_json(const mpi::TimeBreakdown& time) {
+  JsonValue doc = JsonValue::object();
+  for (std::size_t c = 0; c < mpi::kNumTimeCats; ++c) {
+    doc.set(std::string(mpi::to_string(static_cast<mpi::TimeCat>(c))) + "_s",
+            time.seconds[c]);
+  }
+  doc.set("total_s", time.total());
+  return doc;
+}
+
+JsonValue file_stats_json(const mpiio::FileStats& stats) {
+  JsonValue doc = JsonValue::object();
+  doc.set("time", time_breakdown_json(stats.time));
+  doc.set("bytes_written", stats.bytes_written);
+  doc.set("bytes_read", stats.bytes_read);
+  doc.set("collective_writes", stats.collective_writes);
+  doc.set("collective_reads", stats.collective_reads);
+  doc.set("independent_writes", stats.independent_writes);
+  doc.set("independent_reads", stats.independent_reads);
+  doc.set("exchange_cycles", stats.exchange_cycles);
+  doc.set("rmw_reads", stats.rmw_reads);
+  doc.set("parcoll_calls", stats.parcoll_calls);
+  doc.set("intranode_calls", stats.intranode_calls);
+  doc.set("intranode_bytes", stats.intranode_bytes);
+  doc.set("view_switches", stats.view_switches);
+  doc.set("last_num_groups", stats.last_num_groups);
+  doc.set("fault_retries", stats.fault_retries);
+  doc.set("fault_failovers", stats.fault_failovers);
+  doc.set("fault_drops", stats.fault_drops);
+  doc.set("fault_reelections", stats.fault_reelections);
+  doc.set("fault_stalls", stats.fault_stalls);
+  return doc;
+}
+
+JsonValue fault_counters_json(const fault::FaultCounters& faults) {
+  JsonValue doc = JsonValue::object();
+  doc.set("retries", faults.retries);
+  doc.set("failovers", faults.failovers);
+  doc.set("drops", faults.drops);
+  doc.set("delays", faults.delays);
+  doc.set("reelections", faults.reelections);
+  doc.set("stalls", faults.stalls);
+  doc.set("faulted_seconds", faults.faulted_seconds);
+  return doc;
+}
+
+JsonValue metrics_json(const MetricsRegistry& metrics) {
+  JsonValue doc = JsonValue::object();
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, value] : metrics.counters()) {
+    counters.set(name, value);
+  }
+  doc.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, value] : metrics.gauges()) {
+    gauges.set(name, value);
+  }
+  doc.set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::object();
+  for (const auto& [name, hist] : metrics.histograms()) {
+    JsonValue entry = JsonValue::object();
+    JsonValue bounds = JsonValue::array();
+    for (double b : hist.bounds) bounds.push(b);
+    JsonValue counts = JsonValue::array();
+    for (std::uint64_t c : hist.counts) counts.push(c);
+    entry.set("bounds", std::move(bounds))
+        .set("counts", std::move(counts))
+        .set("count", hist.count)
+        .set("sum", hist.sum)
+        .set("min", hist.min)
+        .set("max", hist.max)
+        .set("mean", hist.mean());
+    histograms.set(name, std::move(entry));
+  }
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+void export_file_stats(MetricsRegistry& metrics,
+                       const mpiio::FileStats& stats) {
+  for (std::size_t c = 0; c < mpi::kNumTimeCats; ++c) {
+    metrics.gauge(std::string("stats.time.") +
+                  mpi::to_string(static_cast<mpi::TimeCat>(c)) + "_s") =
+        stats.time.seconds[c];
+  }
+  metrics.counter("stats.bytes_written") = stats.bytes_written;
+  metrics.counter("stats.bytes_read") = stats.bytes_read;
+  metrics.counter("stats.collective_writes") = stats.collective_writes;
+  metrics.counter("stats.collective_reads") = stats.collective_reads;
+  metrics.counter("stats.independent_writes") = stats.independent_writes;
+  metrics.counter("stats.independent_reads") = stats.independent_reads;
+  metrics.counter("stats.exchange_cycles") = stats.exchange_cycles;
+  metrics.counter("stats.rmw_reads") = stats.rmw_reads;
+  metrics.counter("stats.parcoll_calls") = stats.parcoll_calls;
+  metrics.counter("stats.intranode_calls") = stats.intranode_calls;
+  metrics.counter("stats.intranode_bytes") = stats.intranode_bytes;
+  metrics.counter("stats.view_switches") = stats.view_switches;
+  metrics.gauge("stats.last_num_groups") =
+      static_cast<double>(stats.last_num_groups);
+}
+
+void export_fault_counters(MetricsRegistry& metrics,
+                           const fault::FaultCounters& faults) {
+  metrics.counter("fault.retries") = faults.retries;
+  metrics.counter("fault.failovers") = faults.failovers;
+  metrics.counter("fault.drops") = faults.drops;
+  metrics.counter("fault.delays") = faults.delays;
+  metrics.counter("fault.reelections") = faults.reelections;
+  metrics.counter("fault.stalls") = faults.stalls;
+  metrics.gauge("fault.faulted_seconds") = faults.faulted_seconds;
+}
+
+JsonValue run_document(const std::string& tool, JsonValue config) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema", kRunSchema);
+  doc.set("version", kRunSchemaVersion);
+  doc.set("tool", tool);
+  doc.set("config", std::move(config));
+  return doc;
+}
+
+void write_json_file(const std::string& path, const JsonValue& doc) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  os << doc.dump(1) << '\n';
+}
+
+}  // namespace parcoll::obs

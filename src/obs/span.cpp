@@ -1,0 +1,105 @@
+#include "obs/span.hpp"
+
+#include <stdexcept>
+
+namespace parcoll::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Call:     return "call";
+    case SpanKind::Subgroup: return "subgroup";
+    case SpanKind::Stage:    return "stage";
+    case SpanKind::Phase:    return "phase";
+  }
+  return "?";
+}
+
+Span& SpanStore::grow(int rank) {
+  if (rank < 0) {
+    throw std::out_of_range("SpanStore: negative rank");
+  }
+  if (call_ordinals_.size() <= static_cast<std::size_t>(rank)) {
+    call_ordinals_.resize(static_cast<std::size_t>(rank) + 1, 0);
+  }
+  Span& span = spans_.emplace_back();
+  span.id = static_cast<SpanId>(spans_.size());
+  span.rank = rank;
+  return span;
+}
+
+SpanId SpanStore::open(std::uint64_t stream, int rank, SpanKind kind,
+                       const char* name, double at, std::int64_t group,
+                       std::int64_t cycle) {
+  if (kind == SpanKind::Phase) {
+    throw std::logic_error("SpanStore::open: Phase leaves use leaf()");
+  }
+  Span& span = grow(rank);
+  span.kind = kind;
+  span.name = name;
+  span.begin = at;
+  span.end = at;
+  auto& stack = stacks_[stream];
+  if (!stack.empty()) {
+    const Span& parent = spans_[static_cast<std::size_t>(stack.back()) - 1];
+    span.parent = parent.id;
+    span.call = parent.call;
+    span.group = parent.group;
+    span.cycle = parent.cycle;
+  }
+  if (kind == SpanKind::Call) {
+    span.call = call_ordinals_[static_cast<std::size_t>(rank)]++;
+  }
+  if (group >= 0) span.group = group;
+  if (cycle >= 0) span.cycle = cycle;
+  stack.push_back(span.id);
+  return span.id;
+}
+
+void SpanStore::close(std::uint64_t stream, SpanId id, double at) {
+  Span& span = spans_[static_cast<std::size_t>(id) - 1];
+  auto& stack = stacks_[stream];
+  if (stack.empty() || stack.back() != id) {
+    throw std::logic_error(
+        "SpanStore::close: spans must close LIFO per stream");
+  }
+  stack.pop_back();
+  span.end = at;
+}
+
+void SpanStore::leaf(std::uint64_t stream, int rank, mpi::TimeCat cat,
+                     double begin, double end) {
+  if (end <= begin) {
+    return;
+  }
+  Span& span = grow(rank);
+  span.kind = SpanKind::Phase;
+  span.cat = cat;
+  span.name = mpi::to_string(cat);
+  span.begin = begin;
+  span.end = end;
+  auto it = stacks_.find(stream);
+  if (it != stacks_.end() && !it->second.empty()) {
+    const Span& parent =
+        spans_[static_cast<std::size_t>(it->second.back()) - 1];
+    span.parent = parent.id;
+    span.call = parent.call;
+    span.group = parent.group;
+    span.cycle = parent.cycle;
+  }
+}
+
+bool SpanStore::in_call(std::uint64_t stream) const {
+  const auto it = stacks_.find(stream);
+  if (it == stacks_.end() || it->second.empty()) {
+    return false;
+  }
+  return spans_[static_cast<std::size_t>(it->second.back()) - 1].call >= 0;
+}
+
+void SpanStore::clear() {
+  spans_.clear();
+  stacks_.clear();
+  call_ordinals_.clear();
+}
+
+}  // namespace parcoll::obs

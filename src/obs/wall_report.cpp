@@ -1,0 +1,277 @@
+#include "obs/wall_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+
+namespace parcoll::obs {
+
+namespace {
+
+using CycleKey = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                            std::string>;  // call, group, cycle, stage
+
+struct CycleAccum {
+  double sync = 0;
+  std::map<int, double> per_rank;
+};
+
+std::string format_seconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", s);
+  return buf;
+}
+
+}  // namespace
+
+WallReport build_wall_report(const SpanStore& store) {
+  WallReport report;
+  std::map<CycleKey, CycleAccum> accums;
+  std::map<std::int64_t, double> group_sync;
+  std::map<std::string, double> stage_sync;
+  std::map<std::size_t, double> cat_time;
+  int nranks = 0;
+
+  for (const Span& span : store.spans()) {
+    report.total_seconds = std::max(report.total_seconds, span.end);
+    nranks = std::max(nranks, span.rank + 1);
+    if (span.kind != SpanKind::Phase) {
+      continue;
+    }
+    const double dt = span.end - span.begin;
+    cat_time[static_cast<std::size_t>(span.cat)] += dt;
+    if (span.cat != mpi::TimeCat::Sync) {
+      continue;
+    }
+    report.total_sync += dt;
+    if (span.call < 0) {
+      continue;  // sync outside any collective call: not attributable
+    }
+    report.attributed_sync += dt;
+    const std::string stage =
+        span.parent != kNoSpan ? store.at(span.parent).name : "";
+    CycleAccum& accum =
+        accums[CycleKey{span.call, span.group, span.cycle, stage}];
+    accum.sync += dt;
+    accum.per_rank[span.rank] += dt;
+    group_sync[span.group] += dt;
+    stage_sync[stage] += dt;
+  }
+
+  report.ranks.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    report.ranks[static_cast<std::size_t>(r)].rank = r;
+  }
+  for (const Span& span : store.spans()) {
+    if (span.kind == SpanKind::Phase && span.cat == mpi::TimeCat::Sync) {
+      report.ranks[static_cast<std::size_t>(span.rank)].suffered +=
+          span.end - span.begin;
+    }
+  }
+
+  for (const auto& [key, accum] : accums) {
+    WallCycle cycle;
+    cycle.call = std::get<0>(key);
+    cycle.group = std::get<1>(key);
+    cycle.cycle = std::get<2>(key);
+    cycle.stage = std::get<3>(key);
+    cycle.sync_seconds = accum.sync;
+    cycle.nranks = static_cast<int>(accum.per_rank.size());
+    // The straggler arrived last, so it waited least; everyone else's wait
+    // in this key is time spent waiting *for it*.
+    double min_wait = 0;
+    double max_wait = 0;
+    bool first = true;
+    for (const auto& [rank, wait] : accum.per_rank) {
+      if (first || wait < min_wait) {
+        min_wait = wait;
+        cycle.straggler = rank;
+      }
+      if (first || wait > max_wait) {
+        max_wait = wait;
+      }
+      first = false;
+    }
+    cycle.straggler_lag = max_wait - min_wait;
+    if (cycle.straggler >= 0) {
+      RankWall& rw = report.ranks[static_cast<std::size_t>(cycle.straggler)];
+      rw.caused += cycle.sync_seconds;
+      ++rw.cycles_caused;
+    }
+    report.cycles.push_back(std::move(cycle));
+  }
+  std::sort(report.cycles.begin(), report.cycles.end(),
+            [](const WallCycle& a, const WallCycle& b) {
+              return a.sync_seconds > b.sync_seconds;
+            });
+
+  for (const auto& [group, seconds] : group_sync) {
+    report.group_shares.push_back(WallShare{
+        group >= 0 ? "group " + std::to_string(group) : "(no subgroup)",
+        seconds});
+  }
+  for (const auto& [stage, seconds] : stage_sync) {
+    report.stage_shares.push_back(
+        WallShare{stage.empty() ? "(no stage)" : stage, seconds});
+  }
+  for (const auto& [cat, seconds] : cat_time) {
+    report.category_shares.push_back(
+        WallShare{mpi::to_string(static_cast<mpi::TimeCat>(cat)), seconds});
+  }
+  auto by_seconds = [](const WallShare& a, const WallShare& b) {
+    return a.seconds > b.seconds;
+  };
+  std::sort(report.group_shares.begin(), report.group_shares.end(), by_seconds);
+  std::sort(report.stage_shares.begin(), report.stage_shares.end(), by_seconds);
+  std::sort(report.category_shares.begin(), report.category_shares.end(),
+            by_seconds);
+  return report;
+}
+
+std::string format_wall_report(const WallReport& report, int top) {
+  std::ostringstream os;
+  os << "== collective wall report ==\n";
+  os << "traced wall time     " << format_seconds(report.total_seconds)
+     << " s\n";
+  os << "total sync time      " << format_seconds(report.total_sync) << " s";
+  if (report.total_seconds > 0) {
+    char pct[16];
+    std::snprintf(pct, sizeof(pct), " (%.1f%%",
+                  100.0 * report.total_sync /
+                      (report.total_seconds *
+                       std::max<std::size_t>(report.ranks.size(), 1)));
+    os << pct << " of rank-seconds)";
+  }
+  os << "\n";
+  char cov[64];
+  std::snprintf(cov, sizeof(cov), "attributed to (cycle, rank) pairs: %.2f%%",
+                100.0 * report.coverage());
+  os << cov << "\n";
+
+  os << "\n-- wall share per category --\n";
+  for (const WallShare& share : report.category_shares) {
+    os << "  " << share.key;
+    for (std::size_t pad = share.key.size(); pad < 10; ++pad) os << ' ';
+    os << format_seconds(share.seconds) << " s\n";
+  }
+
+  if (!report.group_shares.empty()) {
+    os << "\n-- sync share per subgroup --\n";
+    for (const WallShare& share : report.group_shares) {
+      os << "  " << share.key;
+      for (std::size_t pad = share.key.size(); pad < 14; ++pad) os << ' ';
+      os << format_seconds(share.seconds) << " s\n";
+    }
+  }
+
+  if (!report.stage_shares.empty()) {
+    os << "\n-- sync share per stage --\n";
+    for (const WallShare& share : report.stage_shares) {
+      os << "  " << share.key;
+      for (std::size_t pad = share.key.size(); pad < 14; ++pad) os << ' ';
+      os << format_seconds(share.seconds) << " s\n";
+    }
+  }
+
+  os << "\n-- top straggler ranks (sync caused while others waited) --\n";
+  std::vector<RankWall> by_caused = report.ranks;
+  std::sort(by_caused.begin(), by_caused.end(),
+            [](const RankWall& a, const RankWall& b) {
+              return a.caused > b.caused;
+            });
+  int shown = 0;
+  for (const RankWall& rw : by_caused) {
+    if (shown >= top || rw.caused <= 0) break;
+    os << "  rank " << rw.rank << ": caused " << format_seconds(rw.caused)
+       << " s across " << rw.cycles_caused << " cycles (suffered "
+       << format_seconds(rw.suffered) << " s)\n";
+    ++shown;
+  }
+  if (shown == 0) {
+    os << "  (no attributable sync time)\n";
+  }
+
+  os << "\n-- worst cycles --\n";
+  shown = 0;
+  for (const WallCycle& cycle : report.cycles) {
+    if (shown >= top) break;
+    os << "  call " << cycle.call;
+    if (cycle.group >= 0) os << " group " << cycle.group;
+    if (cycle.cycle >= 0) os << " cycle " << cycle.cycle;
+    os << " [" << cycle.stage << "]: " << format_seconds(cycle.sync_seconds)
+       << " s sync over " << cycle.nranks << " ranks, straggler rank "
+       << cycle.straggler << " (lag " << format_seconds(cycle.straggler_lag)
+       << " s)\n";
+    ++shown;
+  }
+  if (shown == 0) {
+    os << "  (none)\n";
+  }
+  return os.str();
+}
+
+JsonValue wall_report_json(const WallReport& report, int top) {
+  JsonValue doc = JsonValue::object();
+  doc.set("total_seconds", report.total_seconds);
+  doc.set("total_sync_s", report.total_sync);
+  doc.set("attributed_sync_s", report.attributed_sync);
+  doc.set("coverage", report.coverage());
+
+  auto shares_json = [](const std::vector<WallShare>& shares) {
+    JsonValue arr = JsonValue::array();
+    for (const WallShare& share : shares) {
+      JsonValue entry = JsonValue::object();
+      entry.set("key", share.key).set("seconds", share.seconds);
+      arr.push(std::move(entry));
+    }
+    return arr;
+  };
+  doc.set("category_shares", shares_json(report.category_shares));
+  doc.set("group_shares", shares_json(report.group_shares));
+  doc.set("stage_shares", shares_json(report.stage_shares));
+
+  std::vector<RankWall> by_caused = report.ranks;
+  std::sort(by_caused.begin(), by_caused.end(),
+            [](const RankWall& a, const RankWall& b) {
+              return a.caused > b.caused;
+            });
+  JsonValue stragglers = JsonValue::array();
+  int shown = 0;
+  for (const RankWall& rw : by_caused) {
+    if (shown >= top || rw.caused <= 0) break;
+    JsonValue entry = JsonValue::object();
+    entry.set("rank", rw.rank)
+        .set("caused_s", rw.caused)
+        .set("suffered_s", rw.suffered)
+        .set("cycles_caused", rw.cycles_caused);
+    stragglers.push(std::move(entry));
+    ++shown;
+  }
+  doc.set("top_stragglers", std::move(stragglers));
+
+  JsonValue cycles = JsonValue::array();
+  shown = 0;
+  for (const WallCycle& cycle : report.cycles) {
+    if (shown >= top) break;
+    JsonValue entry = JsonValue::object();
+    entry.set("call", cycle.call)
+        .set("group", cycle.group)
+        .set("cycle", cycle.cycle)
+        .set("stage", cycle.stage)
+        .set("sync_s", cycle.sync_seconds)
+        .set("straggler", cycle.straggler)
+        .set("straggler_lag_s", cycle.straggler_lag)
+        .set("nranks", cycle.nranks);
+    cycles.push(std::move(entry));
+    ++shown;
+  }
+  doc.set("worst_cycles", std::move(cycles));
+  return doc;
+}
+
+}  // namespace parcoll::obs

@@ -78,9 +78,7 @@ RunResult run_btio(const BtIOConfig& config, int nranks, const RunSpec& spec,
                    bool write) {
   mpi::World world(spec.model(nranks), spec.byte_true);
   world.set_fault(spec.fault);
-  if (spec.trace) {
-    world.enable_tracing();
-  }
+  apply_observability(world, spec);
   const mpiio::Hints hints = spec.hints();
   PhaseClock clock;
   mpiio::FileStats final_stats;
@@ -175,9 +173,7 @@ RunResult run_btio_epio(const BtIOConfig& config, int nranks,
                         const RunSpec& spec) {
   mpi::World world(spec.model(nranks), spec.byte_true);
   world.set_fault(spec.fault);
-  if (spec.trace) {
-    world.enable_tracing();
-  }
+  apply_observability(world, spec);
   PhaseClock clock;
   mpiio::FileStats final_stats;
   bool verified = true;

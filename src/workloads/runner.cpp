@@ -1,6 +1,7 @@
 #include "workloads/runner.hpp"
 
 #include "fs/lustre.hpp"
+#include "obs/run_export.hpp"
 
 namespace parcoll::workloads {
 
@@ -45,6 +46,15 @@ machine::MachineModel RunSpec::model(int nranks) const {
   return model;
 }
 
+void apply_observability(mpi::World& world, const RunSpec& spec) {
+  if (spec.trace) {
+    world.enable_tracing();
+  }
+  if (spec.metrics) {
+    world.enable_metrics();
+  }
+}
+
 RunResult collect(const mpi::World& world, const PhaseClock& clock,
                   std::uint64_t bytes, const mpiio::FileStats& stats) {
   RunResult result;
@@ -62,7 +72,31 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
     result.trace = std::make_shared<mpi::Tracer>(*mutable_world.tracer());
   }
   result.faults = mutable_world.fault_state().total();
+  if (mutable_world.metrics() != nullptr) {
+    obs::export_file_stats(*mutable_world.metrics(), result.stats);
+    obs::export_fault_counters(*mutable_world.metrics(), result.faults);
+    result.metrics =
+        std::make_shared<obs::MetricsRegistry>(*mutable_world.metrics());
+  }
   return result;
+}
+
+obs::JsonValue run_result_json(const RunResult& result) {
+  obs::JsonValue doc = obs::JsonValue::object();
+  doc.set("elapsed_s", result.elapsed);
+  doc.set("bytes", result.bytes);
+  doc.set("bandwidth_mib_s", result.bandwidth_mib());
+  doc.set("sync_fraction", result.sync_fraction());
+  doc.set("verified", result.verified);
+  doc.set("fs_rpcs", result.fs_rpcs);
+  doc.set("fs_lock_switches", result.fs_lock_switches);
+  doc.set("time", obs::time_breakdown_json(result.sum));
+  doc.set("stats", obs::file_stats_json(result.stats));
+  doc.set("faults", obs::fault_counters_json(result.faults));
+  if (result.metrics) {
+    doc.set("metrics", obs::metrics_json(*result.metrics));
+  }
+  return doc;
 }
 
 }  // namespace parcoll::workloads

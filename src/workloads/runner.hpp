@@ -14,6 +14,8 @@
 #include "mpi/trace.hpp"
 #include "mpiio/hints.hpp"
 #include "mpiio/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace parcoll::workloads {
 
@@ -44,6 +46,8 @@ struct RunSpec {
   bool byte_true = false;
   /// Record per-rank time intervals; the result carries the trace.
   bool trace = false;
+  /// Record counters/gauges/histograms; the result carries the registry.
+  bool metrics = false;
   machine::Mapping mapping = machine::Mapping::Block;
   /// Processes per physical node (the paper's dual-core PEs).
   int cores_per_node = 2;
@@ -70,6 +74,9 @@ struct RunResult {
   std::uint64_t fs_rpcs = 0;          // RPCs served across OSTs
   std::uint64_t fs_lock_switches = 0; // DLM revocations across OSTs
   std::shared_ptr<mpi::Tracer> trace; // set when RunSpec::trace was on
+  /// Set when RunSpec::metrics was on; also mirrors FileStats ("stats.*")
+  /// and fault counters ("fault.*") at collect time.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
   fault::FaultCounters faults;        // degraded-mode events, all ranks
 
   [[nodiscard]] double bandwidth() const {
@@ -105,8 +112,17 @@ class PhaseClock {
   bool started_ = false;
 };
 
+/// Turn on the observers a spec asks for (tracing and/or metrics) before
+/// World::run. A no-op for the default spec, keeping the simulated run
+/// bit-identical to an unobserved one.
+void apply_observability(mpi::World& world, const RunSpec& spec);
+
 /// Collect the per-rank breakdowns of a finished world into a RunResult.
 RunResult collect(const mpi::World& world, const PhaseClock& clock,
                   std::uint64_t bytes, const mpiio::FileStats& stats);
+
+/// The result's "parcoll-run" JSON fragment (elapsed, bandwidth, time
+/// breakdown, file stats, fault counters, metrics dump when present).
+[[nodiscard]] obs::JsonValue run_result_json(const RunResult& result);
 
 }  // namespace parcoll::workloads

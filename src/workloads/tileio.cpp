@@ -63,9 +63,7 @@ RunResult run_tileio(const TileIOConfig& config, int nranks,
                      const RunSpec& spec, bool write) {
   mpi::World world(spec.model(nranks), spec.byte_true);
   world.set_fault(spec.fault);
-  if (spec.trace) {
-    world.enable_tracing();
-  }
+  apply_observability(world, spec);
   const mpiio::Hints hints = spec.hints();
   PhaseClock clock;
   mpiio::FileStats final_stats;

@@ -1,0 +1,161 @@
+// bench_to_trajectory — fold per-bench JSON documents into a trajectory
+// file (BENCH_smoke.json) that accumulates one entry per recorded run.
+//
+// Each input is a "parcoll-run" document written by a bench's --json flag
+// (bench/common.hpp BenchReport). The trajectory keeps only the trend
+// signal per point — series, nprocs, bandwidth, elapsed, sync share — so
+// the file stays small as history accumulates.
+//
+// Usage:
+//   bench_to_trajectory --out BENCH_smoke.json --label pr5 \
+//       abl_group_size.json abl_seeds.json ...
+//
+// When --out already exists and is a valid trajectory document, the new
+// entry is appended to its "runs" array; otherwise a fresh document is
+// started. Exit status 0 on success, 2 on usage errors, 1 when an input
+// cannot be read or parsed.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/run_export.hpp"
+
+namespace {
+
+using parcoll::obs::JsonValue;
+
+constexpr const char* kTrajectorySchema = "parcoll-bench-trajectory";
+constexpr int kTrajectoryVersion = 1;
+
+JsonValue load_json(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    throw std::runtime_error("cannot open: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return JsonValue::parse(buffer.str());
+}
+
+/// The trajectory entry for one bench document: bench name plus the
+/// compact per-point trend row.
+JsonValue fold_bench(const JsonValue& doc) {
+  JsonValue entry = JsonValue::object();
+  const JsonValue* tool = doc.find("tool");
+  entry.set("bench", tool != nullptr ? tool->as_string() : "?");
+  const JsonValue* config = doc.find("config");
+  if (config != nullptr) {
+    const JsonValue* smoke = config->find("smoke");
+    if (smoke != nullptr) entry.set("smoke", smoke->as_bool());
+  }
+  JsonValue points = JsonValue::array();
+  const JsonValue* in_points = doc.find("points");
+  if (in_points != nullptr) {
+    for (const JsonValue& point : in_points->items()) {
+      JsonValue row = JsonValue::object();
+      for (const char* key :
+           {"series", "nprocs", "bandwidth_mib_s", "elapsed_s",
+            "sync_fraction"}) {
+        const JsonValue* value = point.find(key);
+        if (value != nullptr) row.set(key, *value);
+      }
+      points.push(std::move(row));
+    }
+  }
+  entry.set("points", std::move(points));
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string label;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s --out TRAJECTORY.json [--label NAME] INPUT.json...\n",
+          argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (out_path.empty() || inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --out TRAJECTORY.json [--label NAME] "
+                 "INPUT.json...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  JsonValue run = JsonValue::object();
+  if (!label.empty()) run.set("label", label);
+  JsonValue benches = JsonValue::array();
+  for (const std::string& input : inputs) {
+    try {
+      const JsonValue doc = load_json(input);
+      const JsonValue* schema = doc.find("schema");
+      if (schema == nullptr ||
+          schema->as_string() != parcoll::obs::kRunSchema) {
+        std::fprintf(stderr, "%s: not a parcoll-run document, skipping\n",
+                     input.c_str());
+        continue;
+      }
+      benches.push(fold_bench(doc));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: %s\n", input.c_str(), error.what());
+      return 1;
+    }
+  }
+  run.set("benches", std::move(benches));
+
+  // Append to an existing trajectory when the out file already holds one.
+  JsonValue trajectory = JsonValue::object();
+  trajectory.set("schema", kTrajectorySchema);
+  trajectory.set("version", kTrajectoryVersion);
+  JsonValue runs = JsonValue::array();
+  {
+    std::ifstream probe(out_path);
+    if (probe) {
+      try {
+        JsonValue existing = load_json(out_path);
+        const JsonValue* schema = existing.find("schema");
+        const JsonValue* old_runs = existing.find("runs");
+        if (schema != nullptr && schema->as_string() == kTrajectorySchema &&
+            old_runs != nullptr) {
+          for (const JsonValue& old_run : old_runs->items()) {
+            runs.push(old_run);
+          }
+        }
+      } catch (const std::exception&) {
+        // Unreadable/foreign file: start a fresh trajectory rather than
+        // failing the CI step that calls us.
+      }
+    }
+  }
+  runs.push(std::move(run));
+  trajectory.set("runs", std::move(runs));
+
+  try {
+    parcoll::obs::write_json_file(out_path, trajectory);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+  std::printf("%s: %zu run(s)\n", out_path.c_str(),
+              trajectory.find("runs")->items().size());
+  return 0;
+}

@@ -23,6 +23,9 @@
 #include "core/file_area.hpp"
 #include "fault/fault.hpp"
 #include "mpi/trace.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/run_export.hpp"
+#include "obs/wall_report.hpp"
 #include "workloads/btio.hpp"
 #include "workloads/flashio.hpp"
 #include "workloads/ior.hpp"
@@ -59,7 +62,15 @@ void usage(const char* argv0) {
       "  --osts N                storage targets (default 72)\n"
       "  --seed N                jitter seed (default 42)\n"
       "  --trace FILE.csv        write a per-rank interval trace\n"
+      "  --trace-json FILE.json  write a Chrome trace-event file (load in\n"
+      "                          Perfetto / chrome://tracing; implies tracing)\n"
       "  --gantt                 print a text timeline (implies tracing)\n"
+      "  --wall-report           print the collective-wall report: per-cycle\n"
+      "                          sync attributed to the straggler rank\n"
+      "                          (implies tracing)\n"
+      "  --json FILE.json        write the parcoll-run document (result,\n"
+      "                          metrics, wall report; implies tracing and\n"
+      "                          metrics)\n"
       "  --fault SPEC            deterministic fault plan, e.g.\n"
       "                          \"seed=7;ost-outage=3:0.05:0.4;rpc-drop=0.02;"
       "rank-stall=5:0:0.2\"\n"
@@ -88,7 +99,10 @@ int main(int argc, char** argv) {
   int nvars = 24;
   bool write = true;
   bool gantt = false;
+  bool wall_report = false;
   std::string trace_path;
+  std::string trace_json_path;
+  std::string json_path;
   RunSpec spec;
   spec.byte_true = false;
   spec.intranode = node::IntranodeMode::Auto;
@@ -170,8 +184,14 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (arg == "--trace-json") {
+      trace_json_path = next();
     } else if (arg == "--gantt") {
       gantt = true;
+    } else if (arg == "--wall-report") {
+      wall_report = true;
+    } else if (arg == "--json") {
+      json_path = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -206,7 +226,9 @@ int main(int argc, char** argv) {
       if (seed > 0) model.storage.seed = seed;
     };
   }
-  spec.trace = gantt || !trace_path.empty();
+  spec.trace = gantt || wall_report || !trace_path.empty() ||
+               !trace_json_path.empty() || !json_path.empty();
+  spec.metrics = !json_path.empty();
 
   RunResult result;
   try {
@@ -286,9 +308,47 @@ int main(int argc, char** argv) {
       std::printf("trace     : %zu intervals -> %s\n",
                   result.trace->events().size(), trace_path.c_str());
     }
+    if (!trace_json_path.empty()) {
+      std::ofstream os(trace_json_path);
+      obs::write_chrome_trace(os, result.trace->spans());
+      std::printf("trace-json: %zu spans -> %s\n",
+                  result.trace->spans().spans().size(),
+                  trace_json_path.c_str());
+    }
     if (gantt) {
       std::printf("%s", result.trace->gantt(96, 16).c_str());
     }
+    if (wall_report) {
+      const obs::WallReport report =
+          obs::build_wall_report(result.trace->spans());
+      std::printf("%s", obs::format_wall_report(report).c_str());
+    }
+  }
+  if (!json_path.empty()) {
+    obs::JsonValue config = obs::JsonValue::object();
+    config.set("workload", workload)
+        .set("impl", impl)
+        .set("nprocs", nprocs)
+        .set("groups", groups)
+        .set("mode", write ? "write" : "read")
+        .set("cores_per_node", spec.cores_per_node)
+        .set("cb_nodes", spec.cb_nodes);
+    if (!spec.fault.empty()) {
+      config.set("fault", spec.fault.describe());
+    }
+    obs::JsonValue doc = obs::run_document("parcoll_sim", std::move(config));
+    doc.set("result", workloads::run_result_json(result));
+    if (result.trace) {
+      doc.set("wall_report", obs::wall_report_json(
+                                 obs::build_wall_report(result.trace->spans())));
+    }
+    try {
+      obs::write_json_file(json_path, doc);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
+    }
+    std::printf("json      : %s\n", json_path.c_str());
   }
   return 0;
 }

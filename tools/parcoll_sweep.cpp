@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/file_area.hpp"
+#include "obs/run_export.hpp"
 #include "workloads/btio.hpp"
 #include "workloads/flashio.hpp"
 #include "workloads/ior.hpp"
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> groups{"0", "auto"};
   int steps = 2;
   int nvars = 8;
+  std::string json_path;
   bool bt_row_aggregators = true;
   int cores_per_node = 2;
   auto mapping = machine::Mapping::Block;
@@ -124,21 +126,31 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", error.what());
         return 2;
       }
+    } else if (arg == "--json") {
+      json_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--workload tileio|ior|btio|flash] "
                    "[--procs 64,128,...] [--groups 0,8,auto,...] "
                    "[--steps N] [--nvars N] [--cores-per-node N] "
                    "[--mapping block|cyclic] [--intranode on|off|auto] "
-                   "[--no-intranode] [--leader lowest|spread]\n",
+                   "[--no-intranode] [--leader lowest|spread] "
+                   "[--json FILE.json]\n",
                    argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
   }
 
+  // Schema comment: a machine-skippable '#' line naming the schema version
+  // and the units of every column, so archived sweeps stay self-describing.
+  std::printf(
+      "# parcoll-sweep v1: bytes=B elapsed_s=s bandwidth_mib=MiB/s "
+      "sync_share|io_share|intra_share=fraction-of-rank-seconds "
+      "rpcs|lock_revocations=count\n");
   std::printf("workload,impl,nprocs,groups,groups_used,mode,intranode,bytes,"
               "elapsed_s,bandwidth_mib,sync_share,io_share,intra_share,rpcs,"
               "lock_revocations\n");
+  obs::JsonValue rows = obs::JsonValue::array();
   for (const std::string& proc_str : procs) {
     const int nprocs = std::stoi(proc_str);
     for (const std::string& group_str : groups) {
@@ -178,6 +190,28 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(result.fs_rpcs),
           static_cast<unsigned long long>(result.fs_lock_switches));
       std::fflush(stdout);
+      if (!json_path.empty()) {
+        obs::JsonValue row = obs::JsonValue::object();
+        row.set("workload", workload)
+            .set("impl", impl)
+            .set("nprocs", nprocs)
+            .set("groups", group_str)
+            .set("groups_used", result.stats.last_num_groups)
+            .set("result", workloads::run_result_json(result));
+        rows.push(std::move(row));
+      }
+    }
+  }
+  if (!json_path.empty()) {
+    obs::JsonValue config = obs::JsonValue::object();
+    config.set("workload", workload);
+    obs::JsonValue doc = obs::run_document("parcoll_sweep", std::move(config));
+    doc.set("rows", std::move(rows));
+    try {
+      obs::write_json_file(json_path, doc);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
     }
   }
   return 0;
