@@ -1,9 +1,11 @@
 #include "core/parcoll.hpp"
 
+#include <cstring>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
+#include "check/invariants.hpp"
 #include "core/intermediate_view.hpp"
 #include "core/subgroup.hpp"
 #include "mpi/collectives.hpp"
@@ -14,10 +16,46 @@
 #include "node/hier_coll.hpp"
 #include "node/intra_agg.hpp"
 #include "node/nodecomm.hpp"
+#include "sim/random.hpp"
 
 namespace parcoll::core {
 
 namespace {
+
+/// Digest of the comm-global part of a subgroup plan. Every member of the
+/// establishing collective must compute the identical value, or subgroups
+/// would silently disagree on boundaries/rosters (the failure PARCOACH-style
+/// checking exists to catch).
+std::uint64_t plan_hash(const SubgroupPlan& plan) {
+  std::uint64_t h = static_cast<std::uint64_t>(plan.fa.mode);
+  h = sim::hash_combine(h, static_cast<std::uint64_t>(plan.fa.num_groups));
+  for (int group : plan.fa.group_of_rank) {
+    h = sim::hash_combine(h, static_cast<std::uint64_t>(group));
+  }
+  for (const auto& [lo, hi] : plan.fa.areas) {
+    h = sim::hash_combine(sim::hash_combine(h, lo), hi);
+  }
+  for (const auto& aggs : plan.aggs_per_group) {
+    h = sim::hash_combine(h, aggs.size());
+    for (int agg : aggs) {
+      h = sim::hash_combine(h, static_cast<std::uint64_t>(agg));
+    }
+  }
+  return h;
+}
+
+/// Digest of a re-election round's outcome: the agreed clock and the
+/// roster every subgroup member will aggregate through for this call.
+std::uint64_t roster_hash(double agreed, const std::vector<int>& roster) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(agreed));
+  std::memcpy(&bits, &agreed, sizeof(bits));
+  std::uint64_t h = sim::mix64(bits);
+  for (int agg : roster) {
+    h = sim::hash_combine(h, static_cast<std::uint64_t>(agg));
+  }
+  return h;
+}
 
 using Ext2phOutcomePair = std::pair<std::uint64_t, std::uint64_t>;
 
@@ -185,6 +223,10 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     if (cache_slot != nullptr) {
       *cache_slot = cache;
     }
+    if (auto* checker = self.world().checker()) {
+      checker->on_partition(self.rank(), comm.context_id(), comm.size(),
+                            plan_hash(fresh->plan));
+    }
   }
   const SubgroupPlan& plan = cache->plan;
   outcome.mode = plan.fa.mode;
@@ -229,6 +271,11 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     int replaced = 0;
     options.aggregators = reelect_stalled_aggregators(
         plan.subcomm, plan.sub_aggregators, *fplan, agreed, &replaced);
+    if (auto* checker = self.world().checker()) {
+      checker->on_reelection(self.rank(), plan.subcomm.context_id(),
+                             plan.subcomm.size(),
+                             roster_hash(agreed, options.aggregators));
+    }
     if (replaced > 0 && plan.subcomm.local_rank(self.rank()) == 0) {
       self.world().fault_state().of(self.rank()).reelections +=
           static_cast<std::uint64_t>(replaced);

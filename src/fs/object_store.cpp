@@ -41,6 +41,32 @@ std::uint64_t MemoryStore::size(int file_id) const {
   return it == files_.end() ? 0 : it->second.size();
 }
 
+std::uint64_t MemoryStore::content_digest() const {
+  // FNV-1a over (id, size, bytes) in ascending file-id order, so the value
+  // does not depend on hash-map iteration order.
+  std::vector<int> ids;
+  ids.reserve(files_.size());
+  for (const auto& [id, bytes] : files_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h = (h ^ ((value >> shift) & 0xff)) * 1099511628211ull;
+    }
+  };
+  for (int id : ids) {
+    const std::vector<std::byte>& bytes = files_.at(id);
+    mix(static_cast<std::uint64_t>(id));
+    mix(bytes.size());
+    for (std::byte b : bytes) {
+      h = (h ^ static_cast<std::uint64_t>(b)) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
 const std::vector<std::byte>& MemoryStore::contents(int file_id) const {
   auto it = files_.find(file_id);
   if (it == files_.end()) {

@@ -32,6 +32,11 @@ class ObjectStore {
 
   /// High-water mark: one past the highest byte ever written.
   [[nodiscard]] virtual std::uint64_t size(int file_id) const = 0;
+
+  /// Digest of every file's id, size, and contents (canonical id order);
+  /// the model checker compares it across schedules and fault plans to
+  /// assert byte-identical outcomes. Phantom stores hold no bytes: 0.
+  [[nodiscard]] virtual std::uint64_t content_digest() const { return 0; }
 };
 
 class MemoryStore final : public ObjectStore {
@@ -41,6 +46,7 @@ class MemoryStore final : public ObjectStore {
   void read(int file_id, std::uint64_t offset, std::byte* out,
             std::uint64_t length) override;
   [[nodiscard]] std::uint64_t size(int file_id) const override;
+  [[nodiscard]] std::uint64_t content_digest() const override;
 
   /// Direct access for test assertions.
   [[nodiscard]] const std::vector<std::byte>& contents(int file_id) const;

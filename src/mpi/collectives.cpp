@@ -6,6 +6,7 @@
 #include <optional>
 #include <tuple>
 
+#include "check/invariants.hpp"
 #include "mpi/p2p.hpp"
 #include "mpi/runtime.hpp"
 #include "mpi/trace.hpp"
@@ -18,6 +19,17 @@ namespace {
 int ceil_log2(int n) {
   if (n <= 1) return 0;
   return std::bit_width(static_cast<unsigned>(n - 1));
+}
+
+/// Order-sensitive digest of a communicator's member list, for the
+/// collective-match invariant (two comms with the same context id must
+/// also agree on membership).
+std::uint64_t members_hash(const Comm& comm) {
+  std::uint64_t h = comm.context_id();
+  for (int member : comm.members()) {
+    h = sim::hash_combine(h, static_cast<std::uint64_t>(member));
+  }
+  return h;
 }
 }  // namespace
 
@@ -84,6 +96,14 @@ std::shared_ptr<const CollContribs> CollEngine::exchange(
   const std::uint64_t seq = self.next_coll_seq(comm.context_id());
   const OpKey key{comm.context_id(), seq};
 
+  if (auto* checker = self.world().checker()) {
+    // Report before the kind-match throw below, so a mismatch is recorded
+    // as a structured violation even though the run then aborts.
+    checker->on_collective(self.rank(), comm.context_id(), seq,
+                           static_cast<int>(kind), comm.size(),
+                           members_hash(comm));
+  }
+
   auto it = ops_.find(key);
   if (it == ops_.end()) {
     Op op;
@@ -95,7 +115,8 @@ std::shared_ptr<const CollContribs> CollEngine::exchange(
   Op& op = it->second;
   if (op.kind != kind) {
     throw std::logic_error("collective: mismatched collective kinds at the "
-                           "same sequence point (program error)");
+                           "same sequence point (program error); schedule=" +
+                           engine_.schedule_token());
   }
   const double arrival = engine_.now();
   op.contribs[static_cast<std::size_t>(me)] = std::move(contribution);

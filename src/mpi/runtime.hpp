@@ -32,6 +32,10 @@ namespace parcoll::obs {
 class MetricsRegistry;
 }  // namespace parcoll::obs
 
+namespace parcoll::check {
+class InvariantChecker;
+}  // namespace parcoll::check
+
 namespace parcoll::mpi {
 
 class P2PEngine;
@@ -81,6 +85,13 @@ class World {
   obs::MetricsRegistry& enable_metrics();
   [[nodiscard]] obs::MetricsRegistry* metrics() { return metrics_.get(); }
 
+  /// Install a collective-correctness observer (non-owning; call before
+  /// run()). Null when absent: every hook site guards with
+  /// `if (auto* chk = world.checker())`, so normal runs pay one pointer
+  /// test and the checker cannot perturb simulated time (it never sleeps).
+  void set_checker(check::InvariantChecker* checker) { checker_ = checker; }
+  [[nodiscard]] check::InvariantChecker* checker() { return checker_; }
+
   /// Install a fault plan (call before run()). An empty plan is never
   /// installed, so the fault-free path stays free of fault bookkeeping.
   void set_fault(const fault::FaultPlan& plan);
@@ -123,6 +134,7 @@ class World {
   std::unordered_map<std::string, std::shared_ptr<void>> objects_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  check::InvariantChecker* checker_ = nullptr;
   std::unique_ptr<fault::FaultPlan> fault_plan_;
   fault::FaultState fault_state_;
   double elapsed_ = 0.0;

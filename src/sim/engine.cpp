@@ -64,10 +64,50 @@ void Engine::resume_process(ProcId pid) {
   // Otherwise the process suspended itself (sleep/suspend set its state).
 }
 
+void Engine::set_schedule(SchedulePolicy policy) {
+  if (!choice_log_.empty() || now_ != 0.0) {
+    throw std::logic_error("Engine::set_schedule: engine already ran");
+  }
+  policy_ = std::move(policy);
+}
+
+Engine::Event Engine::pop_next() {
+  Event first = queue_.top();
+  queue_.pop();
+  if (policy_.kind == TieBreak::Program) {
+    // Historical fast path: (time, seq) heap order is the schedule.
+    return first;
+  }
+  if (queue_.empty() || queue_.top().time != first.time) {
+    return first;  // a single candidate is not a choice point
+  }
+  // Gather every event tied at the minimal timestamp; heap order leaves
+  // them sorted by sequence number, so alternative 0 is program order.
+  std::vector<Event> ties;
+  ties.push_back(std::move(first));
+  while (!queue_.empty() && queue_.top().time == ties.front().time) {
+    ties.push_back(queue_.top());
+    queue_.pop();
+  }
+  const auto alternatives = static_cast<std::uint32_t>(ties.size());
+  const std::uint32_t chosen =
+      policy_.pick(choice_log_.size(), alternatives);
+  choice_log_.push_back(ScheduleChoice{chosen, alternatives});
+  if (policy_.record != nullptr) {
+    policy_.record->push_back(choice_log_.back());
+  }
+  Event next = std::move(ties[chosen]);
+  for (std::uint32_t i = 0; i < alternatives; ++i) {
+    if (i != chosen) {
+      queue_.push(std::move(ties[i]));
+    }
+  }
+  return next;
+}
+
 void Engine::run() {
   while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
+    Event event = pop_next();
     now_ = event.time;
     if (event.pid == kNoProc) {
       event.callback();
@@ -77,7 +117,8 @@ void Engine::run() {
   }
   if (live_ > 0) {
     std::ostringstream message;
-    message << "simulation deadlock at t=" << now_ << "s; blocked processes:";
+    message << "simulation deadlock at t=" << now_
+            << "s; schedule=" << schedule_token() << "; blocked processes:";
     for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
       if (procs_[pid].state == ProcState::Blocked) {
         message << " [pid " << pid << ": " << procs_[pid].block_reason << "]";

@@ -9,7 +9,9 @@
 //
 // Determinism: events with equal timestamps are ordered by a monotone
 // sequence number, so a given program produces an identical schedule on
-// every run.
+// every run. A SchedulePolicy (sim/schedule.hpp) can replace that default
+// tie-break to explore other interleavings; every policy is itself
+// deterministic and replayable from a compact token.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +22,7 @@
 #include <vector>
 
 #include "sim/fiber.hpp"
+#include "sim/schedule.hpp"
 
 namespace parcoll::sim {
 
@@ -29,7 +32,9 @@ inline constexpr ProcId kNoProc = -1;
 
 /// Thrown by Engine::run when no event is pending but processes are still
 /// blocked — i.e. the simulated program deadlocked. The message lists each
-/// blocked process and the reason string it passed to suspend().
+/// blocked process with the reason string it passed to suspend(), plus the
+/// engine's schedule token, so the failing interleaving can be replayed
+/// verbatim (e.g. parcoll_sim --schedule-replay <token>).
 class DeadlockError : public std::runtime_error {
  public:
   explicit DeadlockError(std::string what) : std::runtime_error(std::move(what)) {}
@@ -90,6 +95,24 @@ class Engine {
   /// per-engine sequence (e.g. jitter streams).
   std::uint64_t next_stream_seq() { return stream_seq_++; }
 
+  // --- Schedule exploration -----------------------------------------------
+
+  /// Replace the tie-break policy (call before run()). The default Program
+  /// policy keeps the engine on the historical fast path: equal-time events
+  /// run in push order and no choice points are recorded.
+  void set_schedule(SchedulePolicy policy);
+  [[nodiscard]] const SchedulePolicy& schedule_policy() const {
+    return policy_;
+  }
+
+  /// The decisions taken at choice points so far (empty under Program).
+  [[nodiscard]] const std::vector<ScheduleChoice>& choice_log() const {
+    return choice_log_;
+  }
+
+  /// Replayable token of the schedule this engine is executing.
+  [[nodiscard]] std::string schedule_token() const { return policy_.token(); }
+
  private:
   enum class ProcState { Runnable, Running, Blocked, Finished };
 
@@ -114,6 +137,9 @@ class Engine {
 
   void schedule_resume(double t, ProcId pid);
   void resume_process(ProcId pid);
+  /// Pop the next event to run, consulting the schedule policy when
+  /// several events are tied at the minimal timestamp.
+  Event pop_next();
 
   std::vector<Process> procs_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
@@ -122,6 +148,8 @@ class Engine {
   std::uint64_t stream_seq_ = 0;
   ProcId current_ = kNoProc;
   std::size_t live_ = 0;
+  SchedulePolicy policy_;
+  std::vector<ScheduleChoice> choice_log_;
 };
 
 /// Condition-variable analogue for simulated processes: a FIFO of blocked

@@ -1,0 +1,129 @@
+#include "sim/schedule.hpp"
+
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace parcoll::sim {
+
+SchedulePolicy SchedulePolicy::random(std::uint64_t seed) {
+  SchedulePolicy policy;
+  policy.kind = TieBreak::Random;
+  policy.seed = seed;
+  return policy;
+}
+
+SchedulePolicy SchedulePolicy::dfs(std::vector<std::uint32_t> choices) {
+  SchedulePolicy policy;
+  policy.kind = TieBreak::Dfs;
+  policy.choices = std::move(choices);
+  return policy;
+}
+
+SchedulePolicy SchedulePolicy::parse(const std::string& token) {
+  if (token.empty()) {
+    throw std::invalid_argument("schedule token: empty");
+  }
+  switch (token[0]) {
+    case 'p':
+      if (token.size() != 1) {
+        throw std::invalid_argument("schedule token: trailing text after 'p'");
+      }
+      return program();
+    case 'r': {
+      const std::string digits = token.substr(1);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        throw std::invalid_argument("schedule token: 'r' needs a seed: " +
+                                    token);
+      }
+      return random(std::stoull(digits));
+    }
+    case 'd': {
+      std::vector<std::uint32_t> choices;
+      std::size_t pos = 1;
+      while (pos < token.size()) {
+        const std::size_t dot = token.find('.', pos);
+        const std::string field =
+            token.substr(pos, dot == std::string::npos ? dot : dot - pos);
+        if (field.empty() ||
+            field.find_first_not_of("0123456789") != std::string::npos) {
+          throw std::invalid_argument("schedule token: bad DFS choice: " +
+                                      token);
+        }
+        choices.push_back(static_cast<std::uint32_t>(std::stoul(field)));
+        pos = dot == std::string::npos ? token.size() : dot + 1;
+        if (dot != std::string::npos && pos == token.size()) {
+          throw std::invalid_argument("schedule token: trailing '.': " + token);
+        }
+      }
+      return dfs(std::move(choices));
+    }
+    default:
+      throw std::invalid_argument("schedule token: unknown kind: " + token);
+  }
+}
+
+std::string SchedulePolicy::token() const {
+  switch (kind) {
+    case TieBreak::Program:
+      return "p";
+    case TieBreak::Random:
+      return "r" + std::to_string(seed);
+    case TieBreak::Dfs: {
+      std::string text = "d";
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (i > 0) text += '.';
+        text += std::to_string(choices[i]);
+      }
+      return text;
+    }
+  }
+  return "?";
+}
+
+std::uint32_t SchedulePolicy::pick(std::uint64_t step,
+                                   std::uint32_t alternatives) const {
+  if (alternatives <= 1) return 0;
+  switch (kind) {
+    case TieBreak::Program:
+      return 0;
+    case TieBreak::Random:
+      return static_cast<std::uint32_t>(mix64(hash_combine(seed, step)) %
+                                        alternatives);
+    case TieBreak::Dfs: {
+      if (step >= choices.size()) return 0;
+      const std::uint32_t choice = choices[static_cast<std::size_t>(step)];
+      return choice < alternatives ? choice : alternatives - 1;
+    }
+  }
+  return 0;
+}
+
+std::optional<std::vector<std::uint32_t>> dfs_next(
+    const std::vector<ScheduleChoice>& log, std::size_t depth_limit) {
+  const std::size_t depth = std::min(log.size(), depth_limit);
+  for (std::size_t i = depth; i-- > 0;) {
+    if (log[i].chosen + 1 < log[i].alternatives) {
+      std::vector<std::uint32_t> prefix;
+      prefix.reserve(i + 1);
+      for (std::size_t j = 0; j < i; ++j) {
+        prefix.push_back(log[j].chosen);
+      }
+      prefix.push_back(log[i].chosen + 1);
+      return prefix;
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t schedule_signature(const std::vector<ScheduleChoice>& log) {
+  std::uint64_t h = 0x5ca1ab1eu;
+  for (const ScheduleChoice& choice : log) {
+    h = hash_combine(h, (static_cast<std::uint64_t>(choice.alternatives) << 32) |
+                            choice.chosen);
+  }
+  return h;
+}
+
+}  // namespace parcoll::sim

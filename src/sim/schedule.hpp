@@ -1,0 +1,75 @@
+// Schedule (tie-break) policies for the DES engine.
+//
+// Events with equal virtual timestamps have no causal order; which one the
+// engine runs first is a *schedule choice*. The default policy replays the
+// historical program order (monotone sequence numbers). The two other
+// policies systematically vary the choice — seeded-random permutation and
+// DFS over explicit choice points — so a model checker can drive the same
+// simulated program through many interleavings.
+//
+// Every policy is replayable from a compact token:
+//   "p"            program order (the default)
+//   "r<seed>"      seeded random, e.g. "r42"
+//   "d<c0>.<c1>…"  DFS: forced choice c_i at the i-th choice point; choice
+//                  points beyond the list take alternative 0 (which equals
+//                  program order), so "d" alone is the DFS root schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcoll::sim {
+
+enum class TieBreak { Program, Random, Dfs };
+
+/// One decision the engine took at a choice point: which of the
+/// `alternatives` equal-time events (ordered by sequence number) ran next.
+struct ScheduleChoice {
+  std::uint32_t chosen = 0;
+  std::uint32_t alternatives = 0;
+
+  friend bool operator==(const ScheduleChoice& a,
+                         const ScheduleChoice& b) = default;
+};
+
+struct SchedulePolicy {
+  TieBreak kind = TieBreak::Program;
+  /// Random: every pick is a pure hash of (seed, choice-point index).
+  std::uint64_t seed = 0;
+  /// Dfs: forced picks for the first choices.size() choice points.
+  std::vector<std::uint32_t> choices;
+  /// Optional external sink the engine appends every ScheduleChoice to.
+  /// Outlives the engine, so exploration drivers keep the executed log
+  /// even when the run dies in an exception. Not part of the token.
+  std::vector<ScheduleChoice>* record = nullptr;
+
+  [[nodiscard]] static SchedulePolicy program() { return {}; }
+  [[nodiscard]] static SchedulePolicy random(std::uint64_t seed);
+  [[nodiscard]] static SchedulePolicy dfs(std::vector<std::uint32_t> choices);
+
+  /// Parse a schedule token (see the header comment for the grammar).
+  /// Throws std::invalid_argument on malformed input.
+  [[nodiscard]] static SchedulePolicy parse(const std::string& token);
+
+  /// The replayable token for this policy.
+  [[nodiscard]] std::string token() const;
+
+  /// The event index (in [0, alternatives)) to run at choice point `step`.
+  [[nodiscard]] std::uint32_t pick(std::uint64_t step,
+                                   std::uint32_t alternatives) const;
+};
+
+/// Depth-first successor: given the executed choice log of a run, the next
+/// forced-choice prefix in DFS order, branching only at the first
+/// `depth_limit` choice points. Empty when the (bounded) tree is exhausted.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> dfs_next(
+    const std::vector<ScheduleChoice>& log, std::size_t depth_limit);
+
+/// Order-sensitive signature of an executed choice log, for counting
+/// distinct schedules.
+[[nodiscard]] std::uint64_t schedule_signature(
+    const std::vector<ScheduleChoice>& log);
+
+}  // namespace parcoll::sim

@@ -53,6 +53,12 @@ void apply_observability(mpi::World& world, const RunSpec& spec) {
   if (spec.metrics) {
     world.enable_metrics();
   }
+  if (spec.schedule.kind != sim::TieBreak::Program) {
+    world.engine().set_schedule(spec.schedule);
+  }
+  if (spec.checker != nullptr) {
+    world.set_checker(spec.checker);
+  }
 }
 
 RunResult collect(const mpi::World& world, const PhaseClock& clock,
@@ -68,6 +74,9 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
   auto& fs = mutable_world.fs();
   result.fs_rpcs = fs.total_rpcs();
   result.fs_lock_switches = fs.total_lock_switches();
+  result.schedule_token = mutable_world.engine().schedule_token();
+  result.choice_points = mutable_world.engine().choice_log().size();
+  result.file_digest = fs.store().content_digest();
   if (mutable_world.tracer() != nullptr) {
     result.trace = std::make_shared<mpi::Tracer>(*mutable_world.tracer());
   }
@@ -90,6 +99,9 @@ obs::JsonValue run_result_json(const RunResult& result) {
   doc.set("verified", result.verified);
   doc.set("fs_rpcs", result.fs_rpcs);
   doc.set("fs_lock_switches", result.fs_lock_switches);
+  doc.set("schedule", result.schedule_token);
+  doc.set("choice_points", result.choice_points);
+  doc.set("file_digest", result.file_digest);
   doc.set("time", obs::time_breakdown_json(result.sum));
   doc.set("stats", obs::file_stats_json(result.stats));
   doc.set("faults", obs::fault_counters_json(result.faults));

@@ -16,6 +16,11 @@
 #include "mpiio/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "sim/schedule.hpp"
+
+namespace parcoll::check {
+class InvariantChecker;
+}  // namespace parcoll::check
 
 namespace parcoll::workloads {
 
@@ -60,6 +65,11 @@ struct RunSpec {
   /// Deterministic fault plan injected into the run (empty = fault-free;
   /// an empty plan leaves the run bit-for-bit identical to no plan).
   fault::FaultPlan fault;
+  /// Event tie-break policy. Program order (the default) keeps the engine's
+  /// historical fast path; Random/Dfs make the run a model-checking probe.
+  sim::SchedulePolicy schedule;
+  /// Non-owning invariant sink; null (the default) disables all hooks.
+  check::InvariantChecker* checker = nullptr;
 
   [[nodiscard]] mpiio::Hints hints() const;
   [[nodiscard]] machine::MachineModel model(int nranks) const;
@@ -78,6 +88,11 @@ struct RunResult {
   /// and fault counters ("fault.*") at collect time.
   std::shared_ptr<obs::MetricsRegistry> metrics;
   fault::FaultCounters faults;        // degraded-mode events, all ranks
+  std::string schedule_token;         // replay token of the executed schedule
+  std::uint64_t choice_points = 0;    // equal-time ties the policy resolved
+  /// MemoryStore content digest at collect time (0 for phantom stores);
+  /// equal digests mean byte-identical file contents across runs.
+  std::uint64_t file_digest = 0;
 
   [[nodiscard]] double bandwidth() const {
     return elapsed > 0 ? static_cast<double>(bytes) / elapsed : 0.0;

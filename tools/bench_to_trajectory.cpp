@@ -58,7 +58,10 @@ JsonValue fold_bench(const JsonValue& doc) {
       JsonValue row = JsonValue::object();
       for (const char* key :
            {"series", "nprocs", "bandwidth_mib_s", "elapsed_s",
-            "sync_fraction"}) {
+            "sync_fraction",
+            // parcoll_check rows: checker throughput and coverage.
+            "schedules", "distinct_schedules", "invariant_checks",
+            "schedules_per_s", "violations"}) {
         const JsonValue* value = point.find(key);
         if (value != nullptr) row.set(key, *value);
       }

@@ -61,6 +61,13 @@ void usage(const char* argv0) {
       "  --nvars N               Flash variables (default 24)\n"
       "  --osts N                storage targets (default 72)\n"
       "  --seed N                jitter seed (default 42)\n"
+      "  --schedule-seed N       explore a seeded-random event tie-break\n"
+      "                          schedule instead of program order\n"
+      "  --schedule-replay TOK   replay a schedule token (p, r<seed>, or\n"
+      "                          d<c0>.<c1>..., as printed by failures and\n"
+      "                          parcoll_check violations)\n"
+      "  --byte-true             store and audit real file bytes (slower;\n"
+      "                          enables the content digest in --json)\n"
       "  --trace FILE.csv        write a per-rank interval trace\n"
       "  --trace-json FILE.json  write a Chrome trace-event file (load in\n"
       "                          Perfetto / chrome://tracing; implies tracing)\n"
@@ -175,6 +182,17 @@ int main(int argc, char** argv) {
       osts = std::stoi(next());
     } else if (arg == "--seed") {
       seed = std::stoull(next());
+    } else if (arg == "--schedule-seed") {
+      spec.schedule = sim::SchedulePolicy::random(std::stoull(next()));
+    } else if (arg == "--schedule-replay") {
+      try {
+        spec.schedule = sim::SchedulePolicy::parse(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--byte-true") {
+      spec.byte_true = true;
     } else if (arg == "--fault") {
       try {
         spec.fault = fault::FaultPlan::parse(next());
@@ -287,6 +305,11 @@ int main(int argc, char** argv) {
   std::printf("fs        : %llu RPCs, %llu lock revocations\n",
               static_cast<unsigned long long>(result.fs_rpcs),
               static_cast<unsigned long long>(result.fs_lock_switches));
+  if (spec.schedule.kind != sim::TieBreak::Program) {
+    std::printf("schedule  : %s (%llu choice points)\n",
+                result.schedule_token.c_str(),
+                static_cast<unsigned long long>(result.choice_points));
+  }
   if (!spec.fault.empty()) {
     std::printf("fault plan: %s\n", spec.fault.describe().c_str());
     std::printf(
