@@ -1,0 +1,161 @@
+#include "bb/drain.hpp"
+
+#include <utility>
+
+#include "bb/staging.hpp"
+#include "fs/lustre.hpp"
+#include "mpi/trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace parcoll::bb {
+
+void DrainScheduler::on_stage(int node) {
+  StagingStore::NodeArena& arena =
+      store_.arenas_[static_cast<std::size_t>(node)];
+  const BbConfig& config = store_.config_;
+  switch (config.policy) {
+    case DrainPolicy::Immediate:
+      kick(node);
+      break;
+    case DrainPolicy::Watermark:
+      if (arena.used >= config.hi_bytes()) {
+        kick(node);
+      }
+      break;
+    case DrainPolicy::Deadline:
+      arm_deadline(node, store_.world_.engine().now() + config.drain_deadline);
+      break;
+    case DrainPolicy::Arbitrate:
+      // Start the fiber now — it parks while the foreground is busy — and
+      // back it with the deadline so parked data cannot wait unboundedly.
+      kick(node);
+      arm_deadline(node, store_.world_.engine().now() + config.drain_deadline);
+      break;
+  }
+}
+
+void DrainScheduler::kick(int node) {
+  StagingStore::NodeArena& arena =
+      store_.arenas_[static_cast<std::size_t>(node)];
+  if (arena.drainer_active || arena.queue.empty()) {
+    return;
+  }
+  arena.drainer_active = true;
+  store_.world_.engine().spawn([this, node] { drain_loop(node); });
+}
+
+void DrainScheduler::kick_all() {
+  for (std::size_t node = 0; node < store_.arenas_.size(); ++node) {
+    kick(static_cast<int>(node));
+  }
+}
+
+void DrainScheduler::poke() { arbitration_.notify_all(store_.world_.engine()); }
+
+void DrainScheduler::arm_deadline(int node, double at) {
+  StagingStore::NodeArena& arena =
+      store_.arenas_[static_cast<std::size_t>(node)];
+  if (arena.timer_armed) {
+    return;  // coalesced: the pending timer covers this segment's deadline
+  }
+  arena.timer_armed = true;
+  store_.world_.engine().post(at, [this, node] {
+    StagingStore::NodeArena& fired =
+        store_.arenas_[static_cast<std::size_t>(node)];
+    fired.timer_armed = false;
+    if (!fired.queue.empty()) {
+      fired.overdue = true;
+      kick(node);
+      poke();
+    }
+  });
+}
+
+void DrainScheduler::drain_loop(int node) {
+  StagingStore::NodeArena& arena =
+      store_.arenas_[static_cast<std::size_t>(node)];
+  sim::Engine& engine = store_.world_.engine();
+  const BbConfig& config = store_.config_;
+  while (!arena.queue.empty()) {
+    // Policy gates — all overridden while a flush waits or the arena is
+    // overdue, so neither durability nor deadline depends on the policy.
+    if (store_.flush_waiters_ == 0 && !arena.overdue) {
+      if (config.policy == DrainPolicy::Watermark &&
+          arena.used <= config.lo_bytes()) {
+        break;  // drained down to the low watermark; stop the burst
+      }
+      if (config.policy == DrainPolicy::Arbitrate && store_.foreground_ > 0 &&
+          arena.used < config.hi_bytes()) {
+        arbitration_.wait(engine, "bb drain arbitration");
+        continue;  // re-evaluate everything after the wake
+      }
+    }
+    write_segment(node);
+    store_.drained_.notify_all(engine);
+  }
+  arena.drainer_active = false;
+  if (arena.queue.empty()) {
+    arena.overdue = false;
+  }
+}
+
+void DrainScheduler::write_segment(int node) {
+  StagingStore::NodeArena& arena =
+      store_.arenas_[static_cast<std::size_t>(node)];
+  mpi::World& world = store_.world_;
+  sim::Engine& engine = world.engine();
+
+  StagingStore::StagedSegment seg = std::move(arena.queue.front());
+  arena.queue.pop_front();
+  arena.in_flight = seg.extents;
+  arena.in_flight_bytes = seg.bytes;
+
+  // Synthetic fs client id: the node's drain agent, distinct from every
+  // rank so per-rank fault counters (snapshot-and-diff around collective
+  // calls) never see interleaved drain activity.
+  const int client = world.nranks() + node;
+  const auto stream = static_cast<std::uint64_t>(engine.current());
+
+  mpi::Tracer* tracer = world.tracer();
+  obs::SpanId span = obs::kNoSpan;
+  const double begin = engine.now();
+  if (tracer != nullptr) {
+    span = tracer->spans().open(stream, seg.client, obs::SpanKind::Drain,
+                                "drain", begin);
+  }
+  const fault::FaultCounters before = world.fault_state().of(client);
+  const fs::IoResult result =
+      world.fs().write(client, store_.fs_id_, seg.extents,
+                       seg.data.empty() ? nullptr : seg.data.data());
+  const fault::FaultCounters after = world.fault_state().of(client);
+  const double end = engine.now();
+
+  store_.drain_time_.seconds[static_cast<std::size_t>(mpi::TimeCat::Drain)] +=
+      end - begin - result.faulted_seconds;
+  store_.drain_time_
+      .seconds[static_cast<std::size_t>(mpi::TimeCat::Faulted)] +=
+      result.faulted_seconds;
+  store_.counters_.drain_retries += after.retries - before.retries;
+  store_.counters_.drain_failovers += after.failovers - before.failovers;
+  ++store_.counters_.drained_segments;
+  store_.counters_.drained_bytes += seg.bytes;
+  if (tracer != nullptr) {
+    tracer->record(stream, seg.client, mpi::TimeCat::Drain, begin, end);
+    tracer->spans().close(stream, span, end);
+  }
+  if (auto* metrics = world.metrics()) {
+    ++metrics->counter("bb.drains");
+    metrics->counter("bb.drained_bytes") += seg.bytes;
+    metrics->counter("bb.drain.retries") += after.retries - before.retries;
+    metrics->counter("bb.drain.failovers") +=
+        after.failovers - before.failovers;
+    metrics->histogram("bb.drain_seconds", obs::latency_bounds_s())
+        .observe(end - begin);
+  }
+
+  arena.used -= seg.bytes;
+  arena.in_flight.clear();
+  arena.in_flight_bytes = 0;
+}
+
+}  // namespace parcoll::bb

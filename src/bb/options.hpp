@@ -1,0 +1,73 @@
+// Burst-buffer staging knobs, shared between the MPI-IO hints and the bb
+// subsystem (dependency-free so mpiio/ can include it without pulling the
+// staging layer in).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace parcoll::bb {
+
+/// bb_drain hint: when the node-local drain agent writes staged segments
+/// behind to Lustre.
+///   Immediate — a drain fiber starts the moment a segment is staged; the
+///               write-behind overlaps the foreground collective maximally.
+///   Watermark — draining starts when a node arena passes the high
+///               watermark and stops once it falls below the low one,
+///               batching fs traffic into bursts.
+///   Deadline  — each staged segment must start draining within
+///               drain_deadline seconds (the "before the next checkpoint"
+///               contract); until then the buffer only fills.
+///   Arbitrate — drain defers to foreground collective I/O contending for
+///               the same OSTs and runs in the gaps, with the high
+///               watermark and the deadline as pressure backstops.
+enum class DrainPolicy { Immediate, Watermark, Deadline, Arbitrate };
+
+struct BbConfig {
+  /// Master switch. Off is the default and keeps every run bit-identical
+  /// to a build without the staging tier.
+  bool enabled = false;
+  /// Node-local arena capacity in bytes (per physical node). Segments that
+  /// do not fit spill to the synchronous path.
+  std::uint64_t capacity = 256ull << 20;
+  DrainPolicy policy = DrainPolicy::Immediate;
+  /// Watermark policy: drain starts at used >= hi * capacity and pauses at
+  /// used <= lo * capacity. Fractions in [0, 1], lo <= hi.
+  double hi_watermark = 0.5;
+  double lo_watermark = 0.125;
+  /// Deadline/Arbitrate policies: seconds a staged segment may wait before
+  /// its node's drain must start.
+  double drain_deadline = 0.05;
+
+  [[nodiscard]] std::uint64_t hi_bytes() const {
+    return static_cast<std::uint64_t>(hi_watermark *
+                                      static_cast<double>(capacity));
+  }
+  [[nodiscard]] std::uint64_t lo_bytes() const {
+    return static_cast<std::uint64_t>(lo_watermark *
+                                      static_cast<double>(capacity));
+  }
+};
+
+[[nodiscard]] inline const char* to_string(DrainPolicy policy) {
+  switch (policy) {
+    case DrainPolicy::Immediate: return "immediate";
+    case DrainPolicy::Watermark: return "watermark";
+    case DrainPolicy::Deadline:  return "deadline";
+    case DrainPolicy::Arbitrate: return "arbitrate";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline DrainPolicy parse_drain_policy(const std::string& value) {
+  if (value == "immediate") return DrainPolicy::Immediate;
+  if (value == "watermark") return DrainPolicy::Watermark;
+  if (value == "deadline") return DrainPolicy::Deadline;
+  if (value == "arbitrate") return DrainPolicy::Arbitrate;
+  throw std::invalid_argument(
+      "bb_drain: expected immediate|watermark|deadline|arbitrate (got " +
+      value + ")");
+}
+
+}  // namespace parcoll::bb

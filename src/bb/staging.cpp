@@ -1,0 +1,222 @@
+#include "bb/staging.hpp"
+
+#include "bb/drain.hpp"
+#include "mpi/trace.hpp"
+#include "obs/metrics.hpp"
+
+namespace parcoll::bb {
+
+StagingStore::StagingStore(mpi::World& world, int fs_id, BbConfig config)
+    : world_(world), fs_id_(fs_id), config_(config) {
+  arenas_.resize(
+      static_cast<std::size_t>(world.model().topology.num_nodes()));
+  sched_ = std::make_unique<DrainScheduler>(*this);
+}
+
+StagingStore::~StagingStore() = default;
+
+bool StagingStore::overlaps(std::span<const fs::Extent> a,
+                            std::span<const fs::Extent> b) {
+  // Extent lists are monotone (view mapping and staging both keep them
+  // sorted), so a linear merge-walk suffices.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].end() <= b[j].offset) {
+      ++i;
+    } else if (b[j].end() <= a[i].offset) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StagingStore::arena_overlaps(const NodeArena& arena,
+                                  std::span<const fs::Extent> extents) const {
+  if (!arena.in_flight.empty() && overlaps(arena.in_flight, extents)) {
+    return true;
+  }
+  for (const StagedSegment& seg : arena.queue) {
+    if (overlaps(seg.extents, extents)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StagingStore::any_overlap(std::span<const fs::Extent> extents) const {
+  for (const NodeArena& arena : arenas_) {
+    if (arena_overlaps(arena, extents)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StagingStore::conflicts_elsewhere(
+    int node, std::span<const fs::Extent> extents) const {
+  for (std::size_t n = 0; n < arenas_.size(); ++n) {
+    if (static_cast<int>(n) == node) {
+      continue;
+    }
+    if (arena_overlaps(arenas_[n], extents)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StagingStore::stage(mpi::Rank& self, std::span<const fs::Extent> extents,
+                         const std::byte* data) {
+  std::uint64_t bytes = 0;
+  for (const fs::Extent& extent : extents) {
+    bytes += extent.length;
+  }
+  if (bytes == 0) {
+    return true;  // nothing to make durable
+  }
+  NodeArena& arena = arenas_[static_cast<std::size_t>(self.node())];
+  if (arena.used + bytes > config_.capacity) {
+    return false;
+  }
+  StagedSegment seg;
+  seg.client = self.rank();
+  seg.staged_at = self.now();
+  seg.bytes = bytes;
+  seg.extents.assign(extents.begin(), extents.end());
+  if (data != nullptr) {
+    seg.data.assign(data, data + bytes);
+  }
+  arena.used += bytes;
+  arena.queue.push_back(std::move(seg));
+  ++counters_.staged_segments;
+  counters_.staged_bytes += bytes;
+  if (auto* metrics = world_.metrics()) {
+    ++metrics->counter("bb.staged_segments");
+    metrics->counter("bb.staged_bytes") += bytes;
+    metrics->gauge_max("bb.node.peak_bytes",
+                       static_cast<std::size_t>(self.node()),
+                       static_cast<double>(arena.used));
+  }
+  // The absorb itself: one memcpy into the node arena, at memory speed.
+  self.touch_bytes(static_cast<double>(bytes));
+  sched_->on_stage(self.node());
+  return true;
+}
+
+void StagingStore::flush_until_clear(mpi::Rank& self,
+                                     std::span<const fs::Extent> extents) {
+  auto pending = [&] {
+    return extents.empty() ? !idle() : any_overlap(extents);
+  };
+  if (!pending()) {
+    return;
+  }
+  const double start = self.now();
+  mpi::SpanGuard flush_span(self, obs::SpanKind::Stage, "bb_flush");
+  ++flush_waiters_;
+  while (pending()) {
+    // A waiting flush overrides every policy gate (the drain loop checks
+    // flush_waiters_), so progress only needs the fibers to be running.
+    sched_->kick_all();
+    sched_->poke();
+    drained_.wait(world_.engine(), "bb flush");
+  }
+  --flush_waiters_;
+  self.times().add(mpi::TimeCat::DrainWait, self.now() - start);
+}
+
+void StagingStore::flush_overlapping(mpi::Rank& self,
+                                     std::span<const fs::Extent> extents) {
+  if (extents.empty()) {
+    return;
+  }
+  flush_until_clear(self, extents);
+}
+
+void StagingStore::flush_all(mpi::Rank& self) {
+  flush_until_clear(self, {});
+}
+
+void StagingStore::foreground_end() {
+  if (--foreground_ == 0) {
+    sched_->poke();
+  }
+}
+
+void StagingStore::note_spill(std::uint64_t bytes) {
+  ++counters_.spills;
+  counters_.spill_bytes += bytes;
+  if (auto* metrics = world_.metrics()) {
+    ++metrics->counter("bb.spills");
+    metrics->counter("bb.spill_bytes") += bytes;
+  }
+}
+
+void StagingStore::note_conflict_flush() {
+  ++counters_.conflict_flushes;
+  if (auto* metrics = world_.metrics()) {
+    ++metrics->counter("bb.conflict_flushes");
+  }
+}
+
+BbCounters StagingStore::harvest_counters() {
+  BbCounters delta;
+  delta.staged_segments =
+      counters_.staged_segments - harvested_counters_.staged_segments;
+  delta.staged_bytes = counters_.staged_bytes - harvested_counters_.staged_bytes;
+  delta.drained_segments =
+      counters_.drained_segments - harvested_counters_.drained_segments;
+  delta.drained_bytes =
+      counters_.drained_bytes - harvested_counters_.drained_bytes;
+  delta.spills = counters_.spills - harvested_counters_.spills;
+  delta.spill_bytes = counters_.spill_bytes - harvested_counters_.spill_bytes;
+  delta.conflict_flushes =
+      counters_.conflict_flushes - harvested_counters_.conflict_flushes;
+  delta.drain_retries =
+      counters_.drain_retries - harvested_counters_.drain_retries;
+  delta.drain_failovers =
+      counters_.drain_failovers - harvested_counters_.drain_failovers;
+  harvested_counters_ = counters_;
+  return delta;
+}
+
+mpi::TimeBreakdown StagingStore::harvest_drain_time() {
+  mpi::TimeBreakdown delta;
+  for (std::size_t i = 0; i < mpi::kNumTimeCats; ++i) {
+    delta.seconds[i] = drain_time_.seconds[i] - harvested_time_.seconds[i];
+  }
+  harvested_time_ = drain_time_;
+  return delta;
+}
+
+bool StagingStore::idle() const {
+  for (const NodeArena& arena : arenas_) {
+    if (!arena.queue.empty() || arena.in_flight_bytes != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t StagingStore::pending_bytes() const {
+  std::uint64_t total = 0;
+  for (const NodeArena& arena : arenas_) {
+    total += arena.used;
+  }
+  return total;
+}
+
+std::shared_ptr<StagingStore> shared_store(mpi::World& world,
+                                           std::uint64_t context_id, int fs_id,
+                                           const BbConfig& config) {
+  const std::string key = "bb:" + std::to_string(context_id) + ":" +
+                          std::to_string(fs_id);
+  return world.shared_object<StagingStore>(key, [&] {
+    return std::make_shared<StagingStore>(world, fs_id, config);
+  });
+}
+
+}  // namespace parcoll::bb

@@ -1,0 +1,182 @@
+// Node-local burst-buffer staging store.
+//
+// A StagingStore keeps one capacity-limited arena per physical node (keyed
+// by machine::Topology). Collective writes land in the arena at memory
+// speed and return; a per-node drain agent (bb/drain.hpp) writes the
+// staged segments behind to the simulated Lustre backend under a pluggable
+// policy. The store is the single consistency authority:
+//
+//   * Same-node program order — each arena is a FIFO served by one drain
+//     fiber at a time, so a rank's overlapping writes reach the file in
+//     issue order.
+//   * Cross-node overlaps — a stage or spill that overlaps another node's
+//     staged/in-flight data first flushes that data synchronously, so the
+//     later writer still wins.
+//   * Read-your-writes — reads through BbTarget flush overlapping staged
+//     data before touching the file.
+//
+// Crash consistency under the fault model: a staged segment is freed only
+// after LustreSim::write returns, and that call internally retries, backs
+// off, and fails over per the installed FaultPlan. A drain hit by an OST
+// outage therefore replays the same staged bytes until they are durable —
+// no loss, and no double-apply beyond idempotent overwrite of the same
+// extents. All staged data is durable by FileHandle::close().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bb/options.hpp"
+#include "fs/stripe.hpp"
+#include "mpi/runtime.hpp"
+#include "sim/engine.hpp"
+
+namespace parcoll::bb {
+
+/// Lifetime event counters, reported in FileStats / metrics.
+struct BbCounters {
+  std::uint64_t staged_segments = 0;
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t drained_segments = 0;
+  std::uint64_t drained_bytes = 0;
+  /// Writes that did not fit the arena and fell back to the sync path.
+  std::uint64_t spills = 0;
+  std::uint64_t spill_bytes = 0;
+  /// Synchronous flushes forced by cross-node overlap or read-through.
+  std::uint64_t conflict_flushes = 0;
+  /// Degraded-mode events during drain writes (fault plan installed).
+  std::uint64_t drain_retries = 0;
+  std::uint64_t drain_failovers = 0;
+};
+
+class DrainScheduler;
+
+class StagingStore {
+ public:
+  StagingStore(mpi::World& world, int fs_id, BbConfig config);
+  ~StagingStore();
+
+  StagingStore(const StagingStore&) = delete;
+  StagingStore& operator=(const StagingStore&) = delete;
+
+  /// Absorb `extents` (+ concatenated payload, may be null in phantom
+  /// mode) into the calling rank's node arena, charging memcpy time.
+  /// Returns false — staging nothing — when the segment does not fit.
+  bool stage(mpi::Rank& self, std::span<const fs::Extent> extents,
+             const std::byte* data);
+
+  /// Block until no staged or in-flight segment overlaps `extents`
+  /// (any node). Wait time is charged to TimeCat::DrainWait.
+  void flush_overlapping(mpi::Rank& self, std::span<const fs::Extent> extents);
+
+  /// Block until every arena is empty and nothing is in flight.
+  void flush_all(mpi::Rank& self);
+
+  /// Does any node other than `node` hold staged/in-flight data
+  /// overlapping `extents`? (Same-node overlaps are ordered by the FIFO.)
+  [[nodiscard]] bool conflicts_elsewhere(
+      int node, std::span<const fs::Extent> extents) const;
+
+  /// Foreground-activity bracket, used by the Arbitrate policy: drains
+  /// defer while any rank is inside a collective I/O call.
+  void foreground_begin() { ++foreground_; }
+  void foreground_end();
+
+  void note_spill(std::uint64_t bytes);
+  void note_conflict_flush();
+
+  [[nodiscard]] bool idle() const;
+  [[nodiscard]] std::uint64_t pending_bytes() const;
+  [[nodiscard]] const BbCounters& counters() const { return counters_; }
+  /// Drain-fiber time, summed: Drain (hidden fs writes) and Faulted
+  /// (degraded-mode retries during drains). Merged into FileStats at close.
+  [[nodiscard]] const mpi::TimeBreakdown& drain_time() const {
+    return drain_time_;
+  }
+  /// Counters / drain time accumulated since the previous harvest. The
+  /// store outlives file handles (shared_object), so close-time stats
+  /// merging takes deltas to stay correct across repeated open/close.
+  [[nodiscard]] BbCounters harvest_counters();
+  [[nodiscard]] mpi::TimeBreakdown harvest_drain_time();
+  [[nodiscard]] const BbConfig& config() const { return config_; }
+  [[nodiscard]] mpi::World& world() { return world_; }
+  [[nodiscard]] int fs_id() const { return fs_id_; }
+
+ private:
+  friend class DrainScheduler;
+
+  struct StagedSegment {
+    int client = -1;        // staging rank (labels drain spans)
+    double staged_at = 0;   // deadline bookkeeping
+    std::uint64_t bytes = 0;
+    std::vector<fs::Extent> extents;
+    std::vector<std::byte> data;  // empty in phantom mode
+  };
+
+  struct NodeArena {
+    std::uint64_t used = 0;  // queued + in-flight bytes
+    std::deque<StagedSegment> queue;
+    /// Extents of the segment the drain fiber is currently writing (empty
+    /// when none): flushes must wait for these too, or a later overlapping
+    /// write could complete before an older one.
+    std::vector<fs::Extent> in_flight;
+    std::uint64_t in_flight_bytes = 0;
+    bool drainer_active = false;
+    /// A deadline timer fired with data still queued: policy gates are
+    /// overridden until the arena empties.
+    bool overdue = false;
+    bool timer_armed = false;
+  };
+
+  [[nodiscard]] static bool overlaps(std::span<const fs::Extent> a,
+                                     std::span<const fs::Extent> b);
+  [[nodiscard]] bool arena_overlaps(const NodeArena& arena,
+                                    std::span<const fs::Extent> extents) const;
+  [[nodiscard]] bool any_overlap(std::span<const fs::Extent> extents) const;
+  /// Shared flush loop: kick every drainer and wait on segment completions
+  /// until `extents` is clear (or, with empty extents, everything is).
+  void flush_until_clear(mpi::Rank& self, std::span<const fs::Extent> extents);
+
+  mpi::World& world_;
+  int fs_id_;
+  BbConfig config_;
+  std::vector<NodeArena> arenas_;  // one per topology node
+  std::unique_ptr<DrainScheduler> sched_;
+  BbCounters counters_;
+  mpi::TimeBreakdown drain_time_;
+  BbCounters harvested_counters_;
+  mpi::TimeBreakdown harvested_time_;
+  int foreground_ = 0;
+  int flush_waiters_ = 0;
+  /// Notified after every completed drain segment; flush waiters recheck.
+  sim::WaitQueue drained_;
+};
+
+/// RAII foreground-activity bracket (no-op on a null store).
+class ForegroundGuard {
+ public:
+  explicit ForegroundGuard(StagingStore* store) : store_(store) {
+    if (store_ != nullptr) store_->foreground_begin();
+  }
+  ~ForegroundGuard() {
+    if (store_ != nullptr) store_->foreground_end();
+  }
+  ForegroundGuard(const ForegroundGuard&) = delete;
+  ForegroundGuard& operator=(const ForegroundGuard&) = delete;
+
+ private:
+  StagingStore* store_;
+};
+
+/// The comm-wide shared store of an open file, created by the first opener
+/// (shared_object key "bb:<context>:<fs_id>"). Helper fibers re-entering
+/// the collective engine without a handle find the same store by key.
+std::shared_ptr<StagingStore> shared_store(mpi::World& world,
+                                           std::uint64_t context_id, int fs_id,
+                                           const BbConfig& config);
+
+}  // namespace parcoll::bb

@@ -1,0 +1,47 @@
+#include "bb/target.hpp"
+
+namespace parcoll::bb {
+
+void BbTarget::write(mpi::Rank& self, std::span<const fs::Extent> extents,
+                     const std::byte* data) {
+  if (store_ == nullptr) {
+    direct_.write(self, extents, data);
+    return;
+  }
+  std::uint64_t bytes = 0;
+  for (const fs::Extent& extent : extents) {
+    bytes += extent.length;
+  }
+  if (bytes == 0) {
+    return;
+  }
+  // Another node holding overlapping staged data must reach the file
+  // before this write is ordered after it (its drain could otherwise
+  // complete later and clobber us).
+  if (store_->conflicts_elsewhere(self.node(), extents)) {
+    store_->note_conflict_flush();
+    store_->flush_overlapping(self, extents);
+  }
+  if (store_->stage(self, extents, data)) {
+    return;
+  }
+  // Capacity pressure: fall back to the synchronous path. Same-node
+  // overlapping segments are older (FIFO), so flush them first to keep
+  // program order.
+  store_->note_spill(bytes);
+  store_->flush_overlapping(self, extents);
+  direct_.write(self, extents, data);
+}
+
+void BbTarget::read(mpi::Rank& self, std::span<const fs::Extent> extents,
+                    std::byte* out) {
+  if (store_ != nullptr && !store_->idle()) {
+    if (store_->conflicts_elsewhere(-1, extents)) {
+      store_->note_conflict_flush();
+    }
+    store_->flush_overlapping(self, extents);
+  }
+  direct_.read(self, extents, out);
+}
+
+}  // namespace parcoll::bb

@@ -1,0 +1,32 @@
+// IoTarget that fronts the physical file with the burst-buffer staging
+// tier. With a null store (bb disabled) it delegates straight to
+// DirectTarget, keeping the off path identical to a build without bb.
+#pragma once
+
+#include "bb/staging.hpp"
+#include "mpiio/ext2ph.hpp"
+
+namespace parcoll::bb {
+
+class BbTarget final : public mpiio::IoTarget {
+ public:
+  /// `store` may be null: every call then delegates to the direct target.
+  BbTarget(fs::LustreSim& fs, int file_id, StagingStore* store)
+      : direct_(fs, file_id), store_(store) {}
+
+  /// Stage the write into the node arena and return (write-behind); spill
+  /// to the synchronous path when the arena is full. Cross-node overlaps
+  /// are flushed first so the later writer still wins.
+  void write(mpi::Rank& self, std::span<const fs::Extent> extents,
+             const std::byte* data) override;
+
+  /// Read-your-writes: flush overlapping staged data, then read the file.
+  void read(mpi::Rank& self, std::span<const fs::Extent> extents,
+            std::byte* out) override;
+
+ private:
+  mpiio::DirectTarget direct_;
+  StagingStore* store_;
+};
+
+}  // namespace parcoll::bb

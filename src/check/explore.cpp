@@ -86,6 +86,11 @@ workloads::RunSpec CheckConfig::spec() const {
   if (intranode) {
     spec.intranode = node::IntranodeMode::On;
   }
+  if (bb) {
+    spec.bb.enabled = true;
+    spec.bb.capacity = bb_capacity;
+    spec.bb.policy = bb::parse_drain_policy(bb_drain);
+  }
   if (!fault_spec.empty()) {
     spec.fault = fault::FaultPlan::parse(fault_spec);
   }
@@ -291,6 +296,26 @@ std::vector<CheckConfig> smoke_configs() {
                        2, /*cb_nodes=*/2, /*min_group_size=*/2};
     config.fault_spec =
         "seed=3;rank-stall=0:0.015:2.0;agg-stall-threshold=0.01";
+    configs.push_back(config);
+  }
+  {
+    // Burst-buffer staging, clean: writes return once staged and drain
+    // behind. Every schedule must keep the collective-complete invariants
+    // across drains and land the program-order run's exact bytes.
+    CheckConfig config{"tileio-bb", "tileio", 8, workloads::Impl::ParColl, 2};
+    config.bb = true;
+    config.bb_drain = "watermark";  // exercises the hi/lo gating + flushes
+    configs.push_back(config);
+  }
+  {
+    // Drain failure: an OST outage covering the drain window pushes the
+    // background drains themselves into retries/failover. The staged data
+    // must replay until durable — no loss, no divergent double-write.
+    CheckConfig config{"ior-bb-drain-fault", "ior", 8, workloads::Impl::Ext2ph};
+    config.bb = true;
+    config.fault_spec =
+        "seed=5;ost-outage=0:0:0.05;rpc-drop=0.02;timeout=0.005;"
+        "backoff=0.001:0.01;max-retries=2";
     configs.push_back(config);
   }
   return configs;

@@ -33,6 +33,11 @@ struct CheckConfig {
   int min_group_size = 1;
   bool intranode = false;       // two-level intra-node aggregation
   std::string fault_spec;       // FaultPlan::parse input; empty = clean
+  // Burst-buffer staging tier (bb=enable). Schedules and fault plans must
+  // not change the bytes the drains eventually land.
+  bool bb = false;
+  std::uint64_t bb_capacity = 256ull << 20;
+  std::string bb_drain = "immediate";
 
   /// The byte-true RunSpec this configuration describes (before the
   /// schedule policy and checker are attached).

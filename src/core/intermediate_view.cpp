@@ -77,24 +77,14 @@ void IntermediateTarget::write(mpi::Rank& self,
                                std::span<const fs::Extent> extents,
                                const std::byte* data) {
   const auto physical = translate_all(extents);
-  const double start = self.now();
-  const fs::IoResult r = fs_.write(self.rank(), file_id_, physical, data);
-  self.times().add(mpi::TimeCat::IO, self.now() - start - r.faulted_seconds);
-  if (r.faulted_seconds > 0) {
-    self.times().add(mpi::TimeCat::Faulted, r.faulted_seconds);
-  }
+  inner_.write(self, physical, data);
 }
 
 void IntermediateTarget::read(mpi::Rank& self,
                               std::span<const fs::Extent> extents,
                               std::byte* out) {
   const auto physical = translate_all(extents);
-  const double start = self.now();
-  const fs::IoResult r = fs_.read(self.rank(), file_id_, physical, out);
-  self.times().add(mpi::TimeCat::IO, self.now() - start - r.faulted_seconds);
-  if (r.faulted_seconds > 0) {
-    self.times().add(mpi::TimeCat::Faulted, r.faulted_seconds);
-  }
+  inner_.read(self, physical, out);
 }
 
 }  // namespace parcoll::core

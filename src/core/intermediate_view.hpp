@@ -55,11 +55,12 @@ class IntermediateMap {
 };
 
 /// IoTarget that resolves intermediate extents through an IntermediateMap
-/// before touching the physical file.
+/// before delegating to the wrapped physical target (DirectTarget, or the
+/// burst-buffer staging target — the translation layer does not care).
 class IntermediateTarget final : public mpiio::IoTarget {
  public:
-  IntermediateTarget(fs::LustreSim& fs, int file_id, IntermediateMap map)
-      : fs_(fs), file_id_(file_id), map_(std::move(map)) {}
+  IntermediateTarget(mpiio::IoTarget& inner, IntermediateMap map)
+      : inner_(inner), map_(std::move(map)) {}
 
   void write(mpi::Rank& self, std::span<const fs::Extent> extents,
              const std::byte* data) override;
@@ -72,8 +73,7 @@ class IntermediateTarget final : public mpiio::IoTarget {
   std::vector<fs::Extent> translate_all(
       std::span<const fs::Extent> extents) const;
 
-  fs::LustreSim& fs_;
-  int file_id_;
+  mpiio::IoTarget& inner_;
   IntermediateMap map_;
 };
 

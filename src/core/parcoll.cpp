@@ -5,6 +5,8 @@
 #include <tuple>
 #include <utility>
 
+#include "bb/staging.hpp"
+#include "bb/target.hpp"
 #include "check/invariants.hpp"
 #include "core/intermediate_view.hpp"
 #include "core/subgroup.hpp"
@@ -144,6 +146,17 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
                                         std::shared_ptr<void>* cache_slot) {
   auto& fs = self.world().fs();
 
+  // Burst-buffer staging: with bb=enable every write target below becomes
+  // a BbTarget, so aggregator writes land in the per-node staging store
+  // and drain to Lustre in the background. The foreground guard tells the
+  // arbitrate drain policy that ranks are inside a collective call.
+  std::shared_ptr<bb::StagingStore> bb_store;
+  if (hints.bb.enabled) {
+    bb_store =
+        bb::shared_store(self.world(), comm.context_id(), fs_id, hints.bb);
+  }
+  bb::ForegroundGuard foreground(bb_store.get());
+
   mpiio::Ext2phOptions options;
   options.cb_buffer_size = hints.cb_buffer_size;
   if (hints.cb_fd_align) {
@@ -158,7 +171,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   if (!cb_enabled) {
     // romio_cb_write/read=disable: the collective call is serviced locally
     // with data sieving, exactly as ROMIO degrades it. No coordination.
-    mpiio::DirectTarget target(fs, fs_id);
+    bb::BbTarget target(fs, fs_id, bb_store.get());
     if (prep.extents.size() <= 1) {
       if (is_write) {
         target.write(self, prep.extents, prep.data());
@@ -167,6 +180,11 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
                     prep.packed.empty() ? nullptr : prep.packed.data());
       }
     } else {
+      if (bb_store != nullptr) {
+        // Sieving read-modify-writes the filesystem directly; staged data
+        // covering these extents must land first.
+        bb_store->flush_overlapping(self, prep.extents);
+      }
       mpiio::sieve_rmw(self, fs_id, prep, is_write);
     }
     return outcome;
@@ -177,7 +195,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     // Plain extended two-phase over the whole group (the baseline).
     options.aggregators = mpiio::default_aggregators(
         self.world().model().topology, comm, hints);
-    mpiio::DirectTarget target(fs, fs_id);
+    bb::BbTarget target(fs, fs_id, bb_store.get());
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, comm, hints, target, request, options, is_write,
                   outcome);
@@ -283,7 +301,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   }
 
   if (plan.fa.mode == PartitionMode::SingleGroup) {
-    mpiio::DirectTarget target(fs, fs_id);
+    bb::BbTarget target(fs, fs_id, bb_store.get());
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, comm, hints, target, request, options, is_write,
                   outcome);
@@ -292,7 +310,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
   }
 
   if (plan.fa.mode == PartitionMode::Direct) {
-    mpiio::DirectTarget target(fs, fs_id);
+    bb::BbTarget target(fs, fs_id, bb_store.get());
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, plan.subcomm, hints, target, request, options,
                   is_write, outcome);
@@ -324,8 +342,8 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     }
     members.push_back(std::move(member));
   }
-  IntermediateTarget target(fs, fs_id,
-                            IntermediateMap(std::move(members)));
+  bb::BbTarget physical(fs, fs_id, bb_store.get());
+  IntermediateTarget target(physical, IntermediateMap(std::move(members)));
 
   mpiio::CollRequest request;
   if (prep.bytes > 0) {

@@ -25,6 +25,10 @@ const char* to_string(TimeCat cat) {
       return "faulted";
     case TimeCat::Intra:
       return "intra";
+    case TimeCat::Drain:
+      return "drain";
+    case TimeCat::DrainWait:
+      return "drain_wait";
   }
   return "?";
 }

@@ -19,8 +19,10 @@ enum class TimeCat : std::size_t {
   IO = 3,       // blocked in file-system reads/writes
   Faulted = 4,  // degraded mode: RPC timeouts, retry backoff, rank stalls
   Intra = 5,    // two-level collective I/O: intra-node request aggregation
+  Drain = 6,    // burst buffer: hidden write-behind of staged segments
+  DrainWait = 7,  // burst buffer: exposed waits (flush, spill, read-through)
 };
-inline constexpr std::size_t kNumTimeCats = 6;
+inline constexpr std::size_t kNumTimeCats = 8;
 
 struct TimeBreakdown {
   std::array<double, kNumTimeCats> seconds{};

@@ -62,10 +62,12 @@ std::string Tracer::gantt(int width, int max_ranks) const {
     }
   }
 
-  static constexpr char kGlyph[kNumTimeCats] = {'c', 'p', 'S', 'I', 'F', 'n'};
+  static constexpr char kGlyph[kNumTimeCats] = {'c', 'p', 'S', 'I',
+                                                'F', 'n', 'd', 'D'};
   std::ostringstream os;
   os << "time 0.." << horizon
-     << "s  (c=compute p=p2p S=sync I=io F=faulted n=intra .=idle)\n";
+     << "s  (c=compute p=p2p S=sync I=io F=faulted n=intra d=drain "
+        "D=drain_wait .=idle)\n";
   for (int r = 0; r < rows; ++r) {
     os << "r";
     os.width(4);

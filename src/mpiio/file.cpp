@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "bb/staging.hpp"
 #include "dtype/pack.hpp"
 #include "mpi/collectives.hpp"
 #include "mpiio/ext2ph.hpp"
@@ -59,6 +60,10 @@ FileHandle::FileHandle(mpi::Rank& self, const mpi::Comm& comm,
         common->comm = comm;
         return common;
       });
+  if (common_->hints.bb.enabled) {
+    common_->bb = bb::shared_store(self.world(), comm.context_id(), fs_id,
+                                   common_->hints.bb);
+  }
   // Collective open semantics: nobody proceeds until everyone has opened.
   mpi::barrier(self, comm);
   if (amode & kModeAppend) {
@@ -129,6 +134,11 @@ void FileHandle::read(void* buffer, std::uint64_t count,
 }
 
 void FileHandle::sync() {
+  // MPI_File_sync promises durability, so staged burst-buffer data must
+  // land first (wait charged to DrainWait by the store).
+  if (common_->bb) {
+    common_->bb->flush_all(self_);
+  }
   // A flush round trip to the servers; data is already durable in the
   // simulated store, so only the latency matters.
   const double start = self_.now();
@@ -212,6 +222,11 @@ void FileHandle::write_at(std::uint64_t offset, const void* buffer,
   require_writable();
   const auto before = time_snapshot();
   PreparedRequest request = prepare_write(offset, buffer, count, memtype);
+  // Independent writes go straight to the filesystem; overlapping staged
+  // burst-buffer data must land first so the later write still wins.
+  if (common_->bb && !common_->bb->idle()) {
+    common_->bb->flush_overlapping(self_, request.extents);
+  }
   DirectTarget target(self_.world().fs(), fs_id());
   const bool lock = atomic_ && !request.extents.empty();
   fs::Extent span{};
@@ -237,6 +252,10 @@ void FileHandle::read_at(std::uint64_t offset, void* buffer,
   require_readable();
   const auto before = time_snapshot();
   PreparedRequest request = prepare_read(offset, buffer, count, memtype);
+  // Read-your-writes: staged data covering these extents must land first.
+  if (common_->bb && !common_->bb->idle()) {
+    common_->bb->flush_overlapping(self_, request.extents);
+  }
   DirectTarget target(self_.world().fs(), fs_id());
   target.read(self_, request.extents, request.packed.empty()
                                           ? nullptr
@@ -254,6 +273,29 @@ void FileHandle::close() {
     throw std::logic_error("FileHandle::close: already closed");
   }
   open_ = false;
+  if (common_->bb) {
+    // Everyone arrives before the final flush, so no rank can still be
+    // staging writes while the drain completes. Close-time durability:
+    // every staged byte reaches Lustre before close returns.
+    mpi::barrier(self_, common_->comm);
+    common_->bb->flush_all(self_);
+    if (common_->comm.local_rank(self_.rank()) == 0) {
+      // One rank folds the store's hidden drain time and event counters
+      // into the file stats (deltas: the store outlives handles).
+      FileStats delta;
+      delta.time = common_->bb->harvest_drain_time();
+      const bb::BbCounters counters = common_->bb->harvest_counters();
+      delta.bb_staged_segments = counters.staged_segments;
+      delta.bb_staged_bytes = counters.staged_bytes;
+      delta.bb_drained_bytes = counters.drained_bytes;
+      delta.bb_spills = counters.spills;
+      delta.bb_spill_bytes = counters.spill_bytes;
+      delta.bb_conflict_flushes = counters.conflict_flushes;
+      delta.bb_drain_retries = counters.drain_retries;
+      delta.bb_drain_failovers = counters.drain_failovers;
+      add_stats(delta);
+    }
+  }
   mpi::barrier(self_, common_->comm);
 }
 

@@ -21,6 +21,10 @@
 #include "mpiio/stats.hpp"
 #include "mpiio/view.hpp"
 
+namespace parcoll::bb {
+class StagingStore;
+}
+
 namespace parcoll::mpiio {
 
 /// Comm-wide shared state of an open file.
@@ -33,6 +37,10 @@ struct FileCommon {
   /// The shared file pointer (etypes). Guarded by fetch-and-add semantics:
   /// each shared-pointer operation pays a metadata round trip.
   std::uint64_t shared_position = 0;
+  /// Burst-buffer staging store (null unless the bb hint enables it).
+  /// Collective writes land here and drain behind; independent I/O and
+  /// close/sync flush through it for consistency.
+  std::shared_ptr<bb::StagingStore> bb;
 };
 
 /// A request prepared for the I/O engines: absolute file extents plus the
@@ -141,6 +149,10 @@ class FileHandle {
   void require_writable() const;
   void require_readable() const;
   [[nodiscard]] const FileStats& stats() const { return common_->stats; }
+  /// The burst-buffer staging store, or null when bb is off.
+  [[nodiscard]] bb::StagingStore* bb_store() const {
+    return common_->bb.get();
+  }
   [[nodiscard]] std::uint64_t size() const {
     return self_.world().fs().file_size(common_->fs_id);
   }

@@ -81,6 +81,32 @@ void Hints::set(const std::string& key, const std::string& value) {
           "Hints::set: parcoll_min_group_size must be >= 1 (got " + value +
           ")");
     }
+  } else if (key == "bb") {
+    if (value == "enable" || value == "true" || value == "1") {
+      bb.enabled = true;
+    } else if (value == "disable" || value == "false" || value == "0") {
+      bb.enabled = false;
+    } else {
+      throw std::invalid_argument("Hints::set: bad bb value: " + value);
+    }
+  } else if (key == "bb_capacity") {
+    bb.capacity = std::stoull(value);
+    if (bb.capacity == 0) {
+      throw std::invalid_argument(
+          "Hints::set: bb_capacity must be positive (got 0)");
+    }
+  } else if (key == "bb_drain") {
+    bb.policy = bb::parse_drain_policy(value);
+  } else if (key == "bb_hi_watermark") {
+    bb.hi_watermark = std::stod(value);
+  } else if (key == "bb_lo_watermark") {
+    bb.lo_watermark = std::stod(value);
+  } else if (key == "bb_deadline") {
+    bb.drain_deadline = std::stod(value);
+    if (bb.drain_deadline <= 0) {
+      throw std::invalid_argument(
+          "Hints::set: bb_deadline must be positive (got " + value + ")");
+    }
   } else if (key == "parcoll_view_switch") {
     parcoll_view_switch = (value == "true" || value == "1");
   } else if (key == "parcoll_persistent_groups") {
@@ -114,6 +140,19 @@ void Hints::validate(int comm_size) const {
     throw std::invalid_argument("Hints: cb_nodes must be >= 0 (got " +
                                 std::to_string(cb_nodes) + ")");
   }
+  if (bb.capacity == 0) {
+    throw std::invalid_argument("Hints: bb_capacity must be positive");
+  }
+  if (bb.hi_watermark < 0 || bb.hi_watermark > 1 || bb.lo_watermark < 0 ||
+      bb.lo_watermark > 1 || bb.lo_watermark > bb.hi_watermark) {
+    throw std::invalid_argument(
+        "Hints: bb watermarks must satisfy 0 <= lo <= hi <= 1 (got lo=" +
+        std::to_string(bb.lo_watermark) + " hi=" +
+        std::to_string(bb.hi_watermark) + ")");
+  }
+  if (bb.drain_deadline <= 0) {
+    throw std::invalid_argument("Hints: bb_deadline must be positive");
+  }
 }
 
 std::string Hints::get(const std::string& key) const {
@@ -134,6 +173,12 @@ std::string Hints::get(const std::string& key) const {
   if (key == "parcoll_min_group_size") {
     return std::to_string(parcoll_min_group_size);
   }
+  if (key == "bb") return bb.enabled ? "enable" : "disable";
+  if (key == "bb_capacity") return std::to_string(bb.capacity);
+  if (key == "bb_drain") return bb::to_string(bb.policy);
+  if (key == "bb_hi_watermark") return std::to_string(bb.hi_watermark);
+  if (key == "bb_lo_watermark") return std::to_string(bb.lo_watermark);
+  if (key == "bb_deadline") return std::to_string(bb.drain_deadline);
   if (key == "parcoll_view_switch") return parcoll_view_switch ? "true" : "false";
   if (key == "parcoll_persistent_groups") {
     return parcoll_persistent_groups ? "true" : "false";

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bb/options.hpp"
 #include "node/options.hpp"
 
 namespace parcoll::mpiio {
@@ -70,6 +71,17 @@ struct Hints {
   /// within subgroups only, letting groups drift past slow storage epochs.
   /// Disable when successive calls change the rank-to-offset ordering.
   bool parcoll_persistent_groups = true;
+
+  // --- Burst-buffer staging tier (node-local write-behind) ---
+  /// Off by default: writes go straight to the filesystem, bit-identical
+  /// to the historical path. With `bb=enable`, collective writes land in a
+  /// capacity-limited per-node staging store and return; a background
+  /// drain writes them to Lustre under `bb_drain` policy. Keys:
+  /// `bb` (enable/disable), `bb_capacity` (bytes per node),
+  /// `bb_drain` (immediate|watermark|deadline|arbitrate),
+  /// `bb_hi_watermark` / `bb_lo_watermark` (capacity fractions),
+  /// `bb_deadline` (seconds before a staged segment must start draining).
+  bb::BbConfig bb;
 
   /// MPI_Info-style string interface. Unknown keys throw; values that can
   /// never be valid (zero cb_buffer_size, non-positive group counts other

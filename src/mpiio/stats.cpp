@@ -26,6 +26,14 @@ FileStats& FileStats::operator+=(const FileStats& other) {
   fault_drops += other.fault_drops;
   fault_reelections += other.fault_reelections;
   fault_stalls += other.fault_stalls;
+  bb_staged_segments += other.bb_staged_segments;
+  bb_staged_bytes += other.bb_staged_bytes;
+  bb_drained_bytes += other.bb_drained_bytes;
+  bb_spills += other.bb_spills;
+  bb_spill_bytes += other.bb_spill_bytes;
+  bb_conflict_flushes += other.bb_conflict_flushes;
+  bb_drain_retries += other.bb_drain_retries;
+  bb_drain_failovers += other.bb_drain_failovers;
   return *this;
 }
 
@@ -37,8 +45,12 @@ std::string FileStats::summary(const std::string& name) const {
      << "s sync=" << time[mpi::TimeCat::Sync]
      << "s io=" << time[mpi::TimeCat::IO]
      << "s faulted=" << time[mpi::TimeCat::Faulted]
-     << "s intra=" << time[mpi::TimeCat::Intra]
-     << "s (sum over ranks)\n";
+     << "s intra=" << time[mpi::TimeCat::Intra];
+  if (time[mpi::TimeCat::Drain] > 0 || time[mpi::TimeCat::DrainWait] > 0) {
+    os << "s drain=" << time[mpi::TimeCat::Drain]
+       << "s dwait=" << time[mpi::TimeCat::DrainWait];
+  }
+  os << "s (sum over ranks)\n";
   os << "  data:   written=" << bytes_written << "B read=" << bytes_read
      << "B\n";
   os << "  calls:  coll_w=" << collective_writes << " coll_r="
@@ -58,6 +70,14 @@ std::string FileStats::summary(const std::string& name) const {
        << " failovers=" << fault_failovers << " drops=" << fault_drops
        << " reelections=" << fault_reelections
        << " stalls=" << fault_stalls;
+  }
+  if (bb_staged_segments || bb_spills) {
+    os << "\n  bb:     staged=" << bb_staged_segments << " ("
+       << bb_staged_bytes << "B) drained=" << bb_drained_bytes
+       << "B spills=" << bb_spills << " (" << bb_spill_bytes
+       << "B) conflict_flushes=" << bb_conflict_flushes
+       << " drain_retries=" << bb_drain_retries
+       << " drain_failovers=" << bb_drain_failovers;
   }
   return os.str();
 }

@@ -42,6 +42,16 @@ struct FileStats {
   std::uint64_t fault_drops = 0;
   std::uint64_t fault_reelections = 0;
   std::uint64_t fault_stalls = 0;
+  /// Burst-buffer staging activity (all zero unless bb=enable): merged from
+  /// the node-local StagingStore at close by the file's first rank.
+  std::uint64_t bb_staged_segments = 0;
+  std::uint64_t bb_staged_bytes = 0;
+  std::uint64_t bb_drained_bytes = 0;
+  std::uint64_t bb_spills = 0;
+  std::uint64_t bb_spill_bytes = 0;
+  std::uint64_t bb_conflict_flushes = 0;
+  std::uint64_t bb_drain_retries = 0;
+  std::uint64_t bb_drain_failovers = 0;
 
   FileStats& operator+=(const FileStats& other);
 

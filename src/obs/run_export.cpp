@@ -41,6 +41,14 @@ JsonValue file_stats_json(const mpiio::FileStats& stats) {
   doc.set("fault_drops", stats.fault_drops);
   doc.set("fault_reelections", stats.fault_reelections);
   doc.set("fault_stalls", stats.fault_stalls);
+  doc.set("bb_staged_segments", stats.bb_staged_segments);
+  doc.set("bb_staged_bytes", stats.bb_staged_bytes);
+  doc.set("bb_drained_bytes", stats.bb_drained_bytes);
+  doc.set("bb_spills", stats.bb_spills);
+  doc.set("bb_spill_bytes", stats.bb_spill_bytes);
+  doc.set("bb_conflict_flushes", stats.bb_conflict_flushes);
+  doc.set("bb_drain_retries", stats.bb_drain_retries);
+  doc.set("bb_drain_failovers", stats.bb_drain_failovers);
   return doc;
 }
 
@@ -110,6 +118,11 @@ void export_file_stats(MetricsRegistry& metrics,
   metrics.counter("stats.intranode_calls") = stats.intranode_calls;
   metrics.counter("stats.intranode_bytes") = stats.intranode_bytes;
   metrics.counter("stats.view_switches") = stats.view_switches;
+  metrics.counter("stats.bb_staged_segments") = stats.bb_staged_segments;
+  metrics.counter("stats.bb_staged_bytes") = stats.bb_staged_bytes;
+  metrics.counter("stats.bb_drained_bytes") = stats.bb_drained_bytes;
+  metrics.counter("stats.bb_spills") = stats.bb_spills;
+  metrics.counter("stats.bb_spill_bytes") = stats.bb_spill_bytes;
   metrics.gauge("stats.last_num_groups") =
       static_cast<double>(stats.last_num_groups);
 }

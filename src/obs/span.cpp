@@ -10,6 +10,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::Subgroup: return "subgroup";
     case SpanKind::Stage:    return "stage";
     case SpanKind::Phase:    return "phase";
+    case SpanKind::Drain:    return "drain";
   }
   return "?";
 }

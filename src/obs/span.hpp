@@ -26,6 +26,7 @@ enum class SpanKind : std::uint8_t {
   Subgroup = 1,  // ParColl subgroup-local collective under a call
   Stage = 2,     // plan / exchange-I/O cycle / finalize / intra step
   Phase = 3,     // leaf: a TimeCat charge (sync, p2p, io, intra, faulted)
+  Drain = 4,     // burst-buffer write-behind of one staged segment
 };
 
 [[nodiscard]] const char* to_string(SpanKind kind);

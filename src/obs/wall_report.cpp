@@ -19,7 +19,39 @@ using CycleKey = std::tuple<std::int64_t, std::int64_t, std::int64_t,
 struct CycleAccum {
   double sync = 0;
   std::map<int, double> per_rank;
+  double window_begin = 0;  // earliest sync leaf in this key
+  double window_end = 0;    // latest sync leaf in this key
+  bool windowed = false;
 };
+
+using Interval = std::pair<double, double>;
+
+/// Merge intervals in place into a disjoint, sorted union.
+void merge_intervals(std::vector<Interval>& intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  std::size_t out = 0;
+  for (const Interval& next : intervals) {
+    if (out > 0 && next.first <= intervals[out - 1].second) {
+      intervals[out - 1].second =
+          std::max(intervals[out - 1].second, next.second);
+    } else {
+      intervals[out++] = next;
+    }
+  }
+  intervals.resize(out);
+}
+
+/// Seconds of [begin, end) covered by the disjoint sorted union.
+double overlap_with(const std::vector<Interval>& merged, double begin,
+                    double end) {
+  double covered = 0;
+  for (const Interval& iv : merged) {
+    if (iv.first >= end) break;
+    if (iv.second <= begin) continue;
+    covered += std::min(end, iv.second) - std::max(begin, iv.first);
+  }
+  return covered;
+}
 
 std::string format_seconds(double s) {
   char buf[32];
@@ -36,15 +68,26 @@ WallReport build_wall_report(const SpanStore& store) {
   std::map<std::string, double> stage_sync;
   std::map<std::size_t, double> cat_time;
   int nranks = 0;
+  std::vector<Interval> drain_spans;
+  std::vector<Interval> drain_waits;
 
   for (const Span& span : store.spans()) {
     report.total_seconds = std::max(report.total_seconds, span.end);
     nranks = std::max(nranks, span.rank + 1);
+    if (span.kind == SpanKind::Drain) {
+      report.drain_seconds += span.end - span.begin;
+      drain_spans.emplace_back(span.begin, span.end);
+      continue;
+    }
     if (span.kind != SpanKind::Phase) {
       continue;
     }
     const double dt = span.end - span.begin;
     cat_time[static_cast<std::size_t>(span.cat)] += dt;
+    if (span.cat == mpi::TimeCat::DrainWait) {
+      report.drain_exposed_wait += dt;
+      drain_waits.emplace_back(span.begin, span.end);
+    }
     if (span.cat != mpi::TimeCat::Sync) {
       continue;
     }
@@ -59,8 +102,23 @@ WallReport build_wall_report(const SpanStore& store) {
         accums[CycleKey{span.call, span.group, span.cycle, stage}];
     accum.sync += dt;
     accum.per_rank[span.rank] += dt;
+    if (!accum.windowed || span.begin < accum.window_begin) {
+      accum.window_begin = span.begin;
+    }
+    if (!accum.windowed || span.end > accum.window_end) {
+      accum.window_end = span.end;
+    }
+    accum.windowed = true;
     group_sync[span.group] += dt;
     stage_sync[stage] += dt;
+  }
+
+  // Split drain work into hidden (no rank blocked on bb meanwhile) and the
+  // remainder some rank's DrainWait overlapped.
+  merge_intervals(drain_waits);
+  report.drain_hidden = report.drain_seconds;
+  for (const Interval& span : drain_spans) {
+    report.drain_hidden -= overlap_with(drain_waits, span.first, span.second);
   }
 
   report.ranks.resize(static_cast<std::size_t>(nranks));
@@ -74,6 +132,7 @@ WallReport build_wall_report(const SpanStore& store) {
     }
   }
 
+  std::sort(drain_spans.begin(), drain_spans.end());
   for (const auto& [key, accum] : accums) {
     WallCycle cycle;
     cycle.call = std::get<0>(key);
@@ -82,6 +141,16 @@ WallReport build_wall_report(const SpanStore& store) {
     cycle.stage = std::get<3>(key);
     cycle.sync_seconds = accum.sync;
     cycle.nranks = static_cast<int>(accum.per_rank.size());
+    if (accum.windowed) {
+      // Drain *work* seconds inside this cycle's sync window (concurrent
+      // node drains both count: two drains hide twice the fs time).
+      for (const Interval& span : drain_spans) {
+        if (span.first >= accum.window_end) break;
+        if (span.second <= accum.window_begin) continue;
+        cycle.hidden_by_bb += std::min(accum.window_end, span.second) -
+                              std::max(accum.window_begin, span.first);
+      }
+    }
     // The straggler arrived last, so it waited least; everyone else's wait
     // in this key is time spent waiting *for it*.
     double min_wait = 0;
@@ -152,11 +221,17 @@ std::string format_wall_report(const WallReport& report, int top) {
   std::snprintf(cov, sizeof(cov), "attributed to (cycle, rank) pairs: %.2f%%",
                 100.0 * report.coverage());
   os << cov << "\n";
+  if (report.drain_seconds > 0 || report.drain_exposed_wait > 0) {
+    os << "bb drain work        " << format_seconds(report.drain_seconds)
+       << " s (hidden " << format_seconds(report.drain_hidden)
+       << " s, exposed wait " << format_seconds(report.drain_exposed_wait)
+       << " s)\n";
+  }
 
   os << "\n-- wall share per category --\n";
   for (const WallShare& share : report.category_shares) {
     os << "  " << share.key;
-    for (std::size_t pad = share.key.size(); pad < 10; ++pad) os << ' ';
+    for (std::size_t pad = share.key.size(); pad < 11; ++pad) os << ' ';
     os << format_seconds(share.seconds) << " s\n";
   }
 
@@ -206,7 +281,11 @@ std::string format_wall_report(const WallReport& report, int top) {
     os << " [" << cycle.stage << "]: " << format_seconds(cycle.sync_seconds)
        << " s sync over " << cycle.nranks << " ranks, straggler rank "
        << cycle.straggler << " (lag " << format_seconds(cycle.straggler_lag)
-       << " s)\n";
+       << " s)";
+    if (report.drain_seconds > 0) {
+      os << " [hidden by bb " << format_seconds(cycle.hidden_by_bb) << " s]";
+    }
+    os << "\n";
     ++shown;
   }
   if (shown == 0) {
@@ -221,6 +300,9 @@ JsonValue wall_report_json(const WallReport& report, int top) {
   doc.set("total_sync_s", report.total_sync);
   doc.set("attributed_sync_s", report.attributed_sync);
   doc.set("coverage", report.coverage());
+  doc.set("drain_s", report.drain_seconds);
+  doc.set("drain_hidden_s", report.drain_hidden);
+  doc.set("drain_exposed_wait_s", report.drain_exposed_wait);
 
   auto shares_json = [](const std::vector<WallShare>& shares) {
     JsonValue arr = JsonValue::array();
@@ -266,7 +348,8 @@ JsonValue wall_report_json(const WallReport& report, int top) {
         .set("sync_s", cycle.sync_seconds)
         .set("straggler", cycle.straggler)
         .set("straggler_lag_s", cycle.straggler_lag)
-        .set("nranks", cycle.nranks);
+        .set("nranks", cycle.nranks)
+        .set("hidden_by_bb_s", cycle.hidden_by_bb);
     cycles.push(std::move(entry));
     ++shown;
   }

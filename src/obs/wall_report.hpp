@@ -32,6 +32,9 @@ struct WallCycle {
   int straggler = -1;       // rank that arrived last (min sync wait)
   double straggler_lag = 0; // max minus min sync wait within the key
   int nranks = 0;
+  /// Burst-buffer drain work running inside this cycle's sync window —
+  /// collective wall the write-behind hid (0 without bb).
+  double hidden_by_bb = 0;
 };
 
 struct RankWall {
@@ -55,6 +58,12 @@ struct WallReport {
   std::vector<WallShare> group_shares;    // sync per ParColl subgroup
   std::vector<WallShare> stage_shares;    // sync per protocol stage
   std::vector<WallShare> category_shares; // total time per TimeCat
+  /// Burst-buffer write-behind attribution (all 0 without bb):
+  /// drain_seconds splits into the part no rank was blocked on
+  /// (drain_hidden) and the part overlapping some rank's DrainWait.
+  double drain_seconds = 0;       // total Drain-span work
+  double drain_hidden = 0;        // drain work hidden behind the foreground
+  double drain_exposed_wait = 0;  // summed DrainWait (ranks blocked on bb)
 
   [[nodiscard]] double coverage() const {
     return total_sync > 0 ? attributed_sync / total_sync : 1.0;

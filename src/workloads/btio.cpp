@@ -145,6 +145,9 @@ RunResult run_btio(const BtIOConfig& config, int nranks, const RunSpec& spec,
     mpi::barrier(self, file.comm());
     clock.end(self.now());
 
+    // Close before auditing and snapshotting: close drains any staged
+    // burst-buffer data and folds the drain time into the file stats.
+    file.close();
     if (spec.byte_true && write) {
       auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
       bool ok = store != nullptr;
@@ -158,7 +161,6 @@ RunResult run_btio(const BtIOConfig& config, int nranks, const RunSpec& spec,
     if (self.rank() == 0) {
       final_stats = file.stats();
     }
-    file.close();
   });
 
   RunResult result =
@@ -207,6 +209,9 @@ RunResult run_btio_epio(const BtIOConfig& config, int nranks,
     mpi::barrier(self, self.comm_world());
     clock.end(self.now());
 
+    // Close before auditing and snapshotting: close drains any staged
+    // burst-buffer data and folds the drain time into the file stats.
+    file.close();
     if (spec.byte_true) {
       auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
       bool ok = store != nullptr;
@@ -220,7 +225,6 @@ RunResult run_btio_epio(const BtIOConfig& config, int nranks,
     if (self.rank() == 0) {
       final_stats = file.stats();
     }
-    file.close();
   });
 
   RunResult result =

@@ -142,6 +142,9 @@ RunResult run_flashio(const FlashConfig& config, int nranks,
     mpi::barrier(self, file.comm());
     clock.end(self.now());
 
+    // Close before auditing and snapshotting: close drains any staged
+    // burst-buffer data and folds the drain time into the file stats.
+    file.close();
     if (spec.byte_true && write) {
       auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
       bool ok = store != nullptr;
@@ -155,7 +158,6 @@ RunResult run_flashio(const FlashConfig& config, int nranks,
     if (self.rank() == 0) {
       final_stats = file.stats();
     }
-    file.close();
   });
 
   RunResult result =
@@ -270,6 +272,9 @@ RunResult run_flashio_h5(const FlashConfig& config, int nranks,
     mpi::barrier(self, file.raw().comm());
     clock.end(self.now());
 
+    // Close before auditing and snapshotting: close drains any staged
+    // burst-buffer data and folds the drain time into the file stats.
+    file.close();
     if (spec.byte_true) {
       auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
       bool ok = store != nullptr;
@@ -290,7 +295,6 @@ RunResult run_flashio_h5(const FlashConfig& config, int nranks,
     if (self.rank() == 0) {
       final_stats = file.raw().stats();
     }
-    file.close();
   });
 
   RunResult result =

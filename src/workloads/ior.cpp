@@ -116,6 +116,10 @@ RunResult run_ior(const IorConfig& config, int nranks, const RunSpec& spec,
     mpi::barrier(self, file.comm());
     clock.end(self.now());
 
+    // Close before auditing and snapshotting: close drains any staged
+    // burst-buffer data (making the store contents final) and folds the
+    // hidden drain time and bb counters into the file stats.
+    file.close();
     if (spec.byte_true && write) {
       auto* store = dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
       const fs::Extent mine{base, config.block_size};
@@ -125,7 +129,6 @@ RunResult run_ior(const IorConfig& config, int nranks, const RunSpec& spec,
     if (self.rank() == 0) {
       final_stats = file.stats();
     }
-    file.close();
   });
 
   RunResult result = collect(world, clock, config.file_bytes(nranks),

@@ -34,6 +34,7 @@ mpiio::Hints RunSpec::hints() const {
   hints.parcoll_persistent_groups = persistent_groups;
   hints.cb_intranode = intranode;
   hints.cb_intranode_leader = intranode_leader;
+  hints.bb = bb;
   return hints;
 }
 
@@ -65,6 +66,7 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
                   std::uint64_t bytes, const mpiio::FileStats& stats) {
   RunResult result;
   result.elapsed = clock.elapsed();
+  result.total_elapsed = world.elapsed();
   result.bytes = bytes;
   for (const mpi::TimeBreakdown& breakdown : world.rank_times()) {
     result.sum += breakdown;
@@ -93,6 +95,7 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
 obs::JsonValue run_result_json(const RunResult& result) {
   obs::JsonValue doc = obs::JsonValue::object();
   doc.set("elapsed_s", result.elapsed);
+  doc.set("total_elapsed_s", result.total_elapsed);
   doc.set("bytes", result.bytes);
   doc.set("bandwidth_mib_s", result.bandwidth_mib());
   doc.set("sync_fraction", result.sync_fraction());

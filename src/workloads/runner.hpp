@@ -60,6 +60,9 @@ struct RunSpec {
   /// the inter-node exchange. Off keeps the historical single-level runs.
   node::IntranodeMode intranode = node::IntranodeMode::Off;
   node::LeaderPolicy intranode_leader = node::LeaderPolicy::Lowest;
+  /// Burst-buffer staging tier (disabled keeps the historical direct
+  /// writes; see bb/options.hpp for the policy knobs).
+  bb::BbConfig bb;
   /// Optional calibration tweak applied to the machine model before a run.
   std::function<void(machine::MachineModel&)> tweak_model;
   /// Deterministic fault plan injected into the run (empty = fault-free;
@@ -77,6 +80,11 @@ struct RunSpec {
 
 struct RunResult {
   double elapsed = 0;        // virtual seconds of the measured I/O phase
+  /// Virtual seconds until everything (including trailing burst-buffer
+  /// drains and timers) went quiet: the time-to-durability of the run.
+  /// Equals the wall clock at collect time; without bb it tracks the
+  /// workload's own span.
+  double total_elapsed = 0;
   std::uint64_t bytes = 0;   // total bytes moved by the measured phase
   mpi::TimeBreakdown sum;    // per-category time, summed over ranks
   mpiio::FileStats stats;    // the file's close-time summary

@@ -127,6 +127,9 @@ RunResult run_tileio(const TileIOConfig& config, int nranks,
     mpi::barrier(self, file.comm());
     clock.end(self.now());
 
+    // Close before auditing and snapshotting: close drains any staged
+    // burst-buffer data and folds the drain time into the file stats.
+    file.close();
     if (spec.byte_true) {
       if (write) {
         auto* store =
@@ -141,7 +144,6 @@ RunResult run_tileio(const TileIOConfig& config, int nranks,
     if (self.rank() == 0) {
       final_stats = file.stats();
     }
-    file.close();
   });
 
   RunResult result = collect(world, clock,

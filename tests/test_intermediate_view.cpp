@@ -89,7 +89,8 @@ TEST(IntermediateTarget, WriteLandsAtPhysicalOffsets) {
     const int fs_id = fs.open("imap.dat", 4, 64);
     std::vector<MemberSegments> members;
     members.push_back(MemberSegments{0, {{100, 8}, {300, 8}}});
-    IntermediateTarget target(fs, fs_id, IntermediateMap(std::move(members)));
+    mpiio::DirectTarget direct(fs, fs_id);
+    IntermediateTarget target(direct, IntermediateMap(std::move(members)));
 
     // Writing intermediate [0,16) must hit physical {100,8} and {300,8}.
     const std::vector<fs::Extent> inter{{0, 16}};
@@ -116,7 +117,8 @@ TEST(IntermediateTarget, ChargesIoTime) {
     const int fs_id = fs.open("io-time.dat");
     std::vector<MemberSegments> members;
     members.push_back(MemberSegments{0, {{0, 1 << 20}}});
-    IntermediateTarget target(fs, fs_id, IntermediateMap(std::move(members)));
+    mpiio::DirectTarget direct(fs, fs_id);
+    IntermediateTarget target(direct, IntermediateMap(std::move(members)));
     const std::vector<fs::Extent> inter{{0, 1 << 20}};
     std::vector<std::byte> data(1 << 20);
     target.write(self, inter, data.data());

@@ -59,6 +59,8 @@ JsonValue fold_bench(const JsonValue& doc) {
       for (const char* key :
            {"series", "nprocs", "bandwidth_mib_s", "elapsed_s",
             "sync_fraction",
+            // burst-buffer rows: write-behind trend signal.
+            "durable_elapsed_s", "drain_s", "drain_wait_s", "bb_spills",
             // parcoll_check rows: checker throughput and coverage.
             "schedules", "distinct_schedules", "invariant_checks",
             "schedules_per_s", "violations"}) {

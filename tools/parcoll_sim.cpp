@@ -56,6 +56,12 @@ void usage(const char* argv0) {
       "                          on|off|auto (default auto)\n"
       "  --no-intranode          shorthand for --intranode off\n"
       "  --leader lowest|spread  intra-node leader selection (default lowest)\n"
+      "  --bb                    enable the node-local burst-buffer staging\n"
+      "                          tier (writes return once staged; drains\n"
+      "                          write behind to Lustre)\n"
+      "  --bb-capacity BYTES     staging capacity per node (default 256 MiB)\n"
+      "  --bb-drain POLICY       write-behind policy: immediate|watermark|\n"
+      "                          deadline|arbitrate (default immediate)\n"
       "  --read                  measure collective read instead of write\n"
       "  --steps N               BT-IO time steps (default 3)\n"
       "  --nvars N               Flash variables (default 24)\n"
@@ -168,6 +174,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--leader") {
       try {
         spec.intranode_leader = node::parse_leader_policy(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--bb") {
+      spec.bb.enabled = true;
+    } else if (arg == "--bb-capacity") {
+      spec.bb.enabled = true;
+      spec.bb.capacity = std::stoull(next());
+    } else if (arg == "--bb-drain") {
+      try {
+        spec.bb.enabled = true;
+        spec.bb.policy = bb::parse_drain_policy(next());
       } catch (const std::exception& error) {
         std::fprintf(stderr, "%s\n", error.what());
         return 2;
@@ -295,13 +314,31 @@ int main(int argc, char** argv) {
   std::printf("bandwidth : %.1f MiB/s\n", result.bandwidth_mib());
   const double total = result.sum.total();
   std::printf("breakdown : compute %.1f%%  p2p %.1f%%  sync %.1f%%  io %.1f%%"
-              "  faulted %.1f%%  intra %.1f%%  (rank-seconds: %.2f)\n",
+              "  faulted %.1f%%  intra %.1f%%",
               100 * result.sum[mpi::TimeCat::Compute] / total,
               100 * result.sum[mpi::TimeCat::P2P] / total,
               100 * result.sum[mpi::TimeCat::Sync] / total,
               100 * result.sum[mpi::TimeCat::IO] / total,
               100 * result.sum[mpi::TimeCat::Faulted] / total,
-              100 * result.sum[mpi::TimeCat::Intra] / total, total);
+              100 * result.sum[mpi::TimeCat::Intra] / total);
+  if (result.sum[mpi::TimeCat::DrainWait] > 0) {
+    std::printf("  dwait %.1f%%",
+                100 * result.sum[mpi::TimeCat::DrainWait] / total);
+  }
+  std::printf("  (rank-seconds: %.2f)\n", total);
+  if (spec.bb.enabled) {
+    std::printf(
+        "bb        : %s, staged %llu segs (%.1f MiB), spills %llu, "
+        "hidden drain %.4fs, exposed wait %.4fs (%.1f%%), durable at %.4fs\n",
+        bb::to_string(spec.bb.policy),
+        static_cast<unsigned long long>(result.stats.bb_staged_segments),
+        static_cast<double>(result.stats.bb_staged_bytes) / (1 << 20),
+        static_cast<unsigned long long>(result.stats.bb_spills),
+        result.stats.time[mpi::TimeCat::Drain],
+        result.sum[mpi::TimeCat::DrainWait],
+        100 * result.sum[mpi::TimeCat::DrainWait] / total,
+        result.total_elapsed);
+  }
   std::printf("fs        : %llu RPCs, %llu lock revocations\n",
               static_cast<unsigned long long>(result.fs_rpcs),
               static_cast<unsigned long long>(result.fs_lock_switches));

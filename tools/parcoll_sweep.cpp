@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
   auto mapping = machine::Mapping::Block;
   auto intranode = node::IntranodeMode::Off;
   auto leader = node::LeaderPolicy::Lowest;
+  bb::BbConfig bb;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -126,6 +127,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", error.what());
         return 2;
       }
+    } else if (arg == "--bb") {
+      bb.enabled = true;
+    } else if (arg == "--bb-capacity") {
+      bb.enabled = true;
+      bb.capacity = std::stoull(next());
+    } else if (arg == "--bb-drain") {
+      try {
+        bb.enabled = true;
+        bb.policy = bb::parse_drain_policy(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
     } else if (arg == "--json") {
       json_path = next();
     } else {
@@ -135,6 +149,8 @@ int main(int argc, char** argv) {
                    "[--steps N] [--nvars N] [--cores-per-node N] "
                    "[--mapping block|cyclic] [--intranode on|off|auto] "
                    "[--no-intranode] [--leader lowest|spread] "
+                   "[--bb] [--bb-capacity BYTES] "
+                   "[--bb-drain immediate|watermark|deadline|arbitrate] "
                    "[--json FILE.json]\n",
                    argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -160,6 +176,7 @@ int main(int argc, char** argv) {
       spec.mapping = mapping;
       spec.intranode = intranode;
       spec.intranode_leader = leader;
+      spec.bb = bb;
       std::string impl;
       if (group_str == "0") {
         spec.impl = Impl::Ext2ph;
