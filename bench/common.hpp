@@ -10,6 +10,7 @@
 #include <exception>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/run_export.hpp"
 #include "workloads/runner.hpp"
@@ -82,8 +83,11 @@ class BenchReport {
   BenchReport& operator=(const BenchReport&) = delete;
 
   /// Record one measured point (series label + process count + result).
+  /// `extras` are bench-specific top-level keys the trajectory folder
+  /// keeps (e.g. abl_integrity's checksum_overhead_pct).
   void add(const std::string& series, int nprocs,
-           const workloads::RunResult& result) {
+           const workloads::RunResult& result,
+           const std::vector<std::pair<std::string, double>>& extras = {}) {
     if (path_.empty()) return;
     obs::JsonValue point = obs::JsonValue::object();
     point.set("series", series)
@@ -98,6 +102,9 @@ class BenchReport {
           .set("drain_s", result.stats.time[mpi::TimeCat::Drain])
           .set("drain_wait_s", result.sum[mpi::TimeCat::DrainWait])
           .set("bb_spills", result.stats.bb_spills);
+    }
+    for (const auto& extra : extras) {
+      point.set(extra.first, extra.second);
     }
     points_.push(std::move(point));
   }

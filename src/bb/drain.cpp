@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "bb/staging.hpp"
+#include "fs/integrity.hpp"
 #include "fs/lustre.hpp"
 #include "mpi/trace.hpp"
 #include "obs/metrics.hpp"
@@ -122,6 +123,34 @@ void DrainScheduler::write_segment(int node) {
   if (tracer != nullptr) {
     span = tracer->spans().open(stream, seg.client, obs::SpanKind::Drain,
                                 "drain", begin);
+  }
+  // Pre-drain integrity audit: a segment that decayed while resident is
+  // healed from the checksum replica (Repair) or reported for collective
+  // agreement (Detect) before its bytes go durable. Only records fully
+  // inside the segment are checkable here; straddlers are caught by the
+  // store-side passes (read-verify, scrub, close sweep).
+  if (auto* integ = world.integrity()) {
+    double seconds = 0.0;
+    if (!seg.data.empty()) {
+      seconds = integ->verify_buffer(seg.client, store_.fs_id_, seg.extents,
+                                     seg.data.data());
+    } else if (seg.corrupted) {
+      // Phantom arenas keep no bytes; account the detection by draw.
+      fault::FaultCounters& mine = world.fault_state().of(seg.client);
+      ++mine.corrupt_detected;
+      if (integ->config().level == fs::IntegrityLevel::Repair) {
+        ++mine.corrupt_repaired;
+      } else {
+        integ->record_error(store_.fs_id_, seg.extents.front().offset,
+                            seg.extents.front().length);
+      }
+    }
+    if (seconds > 0) {
+      engine.sleep(seconds);
+      store_.drain_time_
+          .seconds[static_cast<std::size_t>(mpi::TimeCat::Integrity)] +=
+          seconds;
+    }
   }
   const fault::FaultCounters before = world.fault_state().of(client);
   const fs::IoResult result =

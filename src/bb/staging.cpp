@@ -89,6 +89,25 @@ bool StagingStore::stage(mpi::Rank& self, std::span<const fs::Extent> extents,
   if (data != nullptr) {
     seg.data.assign(data, data + bytes);
   }
+  if (const fault::FaultPlan* plan = world_.fault_plan();
+      plan != nullptr && plan->bb_corrupt_prob > 0.0) {
+    const auto rank = static_cast<std::size_t>(self.rank());
+    if (bb_draws_.size() <= rank) bb_draws_.resize(rank + 1, 0);
+    if (plan->corrupt_bb(self.rank(), bb_draws_[rank]++)) {
+      // The segment decays while resident: flip one bit of a seeded byte
+      // of the arena copy. The durable source (the rank's buffer / the
+      // checksum replica) is untouched, which is what drain-time repair
+      // replays.
+      seg.corrupted = true;
+      ++world_.fault_state().of(self.rank()).corrupt_injected;
+      if (!seg.data.empty()) {
+        const std::uint64_t site = plan->corrupt_site(
+            static_cast<std::uint64_t>(self.rank()), bb_draws_[rank]);
+        seg.data[static_cast<std::size_t>(site % seg.data.size())] ^=
+            static_cast<std::byte>(1u << ((site >> 32) & 7));
+      }
+    }
+  }
   arena.used += bytes;
   arena.queue.push_back(std::move(seg));
   ++counters_.staged_segments;

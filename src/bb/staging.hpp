@@ -115,6 +115,9 @@ class StagingStore {
     std::uint64_t bytes = 0;
     std::vector<fs::Extent> extents;
     std::vector<std::byte> data;  // empty in phantom mode
+    /// The fault plan decayed this segment while resident (phantom mode
+    /// keeps no bytes, so the pre-drain audit keys off this flag instead).
+    bool corrupted = false;
   };
 
   struct NodeArena {
@@ -152,6 +155,9 @@ class StagingStore {
   mpi::TimeBreakdown harvested_time_;
   int foreground_ = 0;
   int flush_waiters_ = 0;
+  /// Per-rank monotone draw counters for the bb decay process (keyed by
+  /// the staging rank, so draws are schedule-independent).
+  std::vector<std::uint64_t> bb_draws_;
   /// Notified after every completed drain segment; flush waiters recheck.
   sim::WaitQueue drained_;
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fs/integrity.hpp"
 #include "fs/lustre.hpp"
 #include "fs/object_store.hpp"
 #include "mpi/collectives.hpp"
@@ -93,6 +94,10 @@ workloads::RunSpec CheckConfig::spec() const {
   }
   if (!fault_spec.empty()) {
     spec.fault = fault::FaultPlan::parse(fault_spec);
+  }
+  if (integrity != "off") {
+    spec.integrity.level = fs::parse_integrity_level(integrity);
+    spec.integrity.scrub = scrub;
   }
   return spec;
 }
@@ -318,6 +323,39 @@ std::vector<CheckConfig> smoke_configs() {
         "backoff=0.001:0.01;max-retries=2";
     configs.push_back(config);
   }
+  // Silent-corruption runs at integrity=repair: every injected flip must be
+  // detected and healed, so the content-equivalence check against the clean
+  // reference still holds on every schedule.
+  {
+    // Wire corruption: corrupted write RPCs fail the OST's ingest checksum
+    // and retransmit until a clean copy lands.
+    CheckConfig config{"tileio-corrupt-rpc", "tileio", 8,
+                       workloads::Impl::ParColl, 2};
+    config.integrity = "repair";
+    config.fault_spec =
+        "seed=13;rpc-corrupt=0.1;timeout=0.005;backoff=0.001:0.01;"
+        "max-retries=8";
+    configs.push_back(config);
+  }
+  {
+    // Staged-segment decay: resident bb segments flip while parked; the
+    // pre-drain verification must heal them from the checksum replicas
+    // before anything lands on an OST.
+    CheckConfig config{"ior-bb-corrupt", "ior", 8, workloads::Impl::Ext2ph};
+    config.bb = true;
+    config.integrity = "repair";
+    config.fault_spec = "seed=17;bb-corrupt=0.25";
+    configs.push_back(config);
+  }
+  {
+    // Latent media corruption: bytes already landed on OSTs flip mid-run;
+    // the scrubber (and the close-time sweep backstop) must repair them.
+    CheckConfig config{"tileio-media-scrub", "tileio", 8,
+                       workloads::Impl::Ext2ph};
+    config.integrity = "repair";
+    config.fault_spec = "seed=19;media-corrupt=0:0.003;media-corrupt=1:0.004";
+    configs.push_back(config);
+  }
   return configs;
 }
 
@@ -375,6 +413,87 @@ ScheduleOutcome run_bug_schedule(const sim::SchedulePolicy& policy,
   outcome.invariant_checks = checker.checks();
   outcome.violations = checker.violations();
   return outcome;
+}
+
+ExploreStats corruption_selftest() {
+  ExploreStats stats;
+  const auto policy = sim::SchedulePolicy::program();
+
+  // A plan dense enough that the program-order run is guaranteed to inject:
+  // half the write RPCs flip a bit on the wire, and two latent media events
+  // flip stored bytes mid-run.
+  CheckConfig config{"tileio-corruption-selftest", "tileio", 8,
+                     workloads::Impl::Ext2ph};
+  config.fault_spec =
+      "seed=21;rpc-corrupt=0.5;media-corrupt=0:0.003;timeout=0.005;"
+      "backoff=0.001:0.01;max-retries=16";
+
+  const auto expect = [&](bool ok, const std::string& invariant,
+                          const std::string& detail,
+                          const std::string& token) {
+    if (!ok) {
+      stats.violations.push_back({config.name, invariant, detail, token});
+    }
+  };
+
+  // 1. Clean reference pins the expected bytes.
+  CheckConfig clean = config;
+  clean.fault_spec.clear();
+  const ScheduleOutcome reference = run_schedule(clean, policy);
+  ++stats.schedules;
+  stats.invariant_checks += reference.invariant_checks;
+  expect(reference.completed && reference.verified, "selftest-reference",
+         "clean reference run failed: " + reference.error, reference.token);
+  if (stats.violations.empty()) {
+    // 2. Checksums off: the corruption must actually land and slip through
+    // silently — the run completes, but the bytes are wrong.
+    const ScheduleOutcome unprotected = run_schedule(config, policy);
+    ++stats.schedules;
+    ++stats.faulted_runs;
+    expect(unprotected.completed, "selftest-unprotected",
+           "corrupted run with checksums off did not complete: " +
+               unprotected.error,
+           unprotected.token);
+    expect(unprotected.faults.corrupt_injected > 0, "selftest-unprotected",
+           "fault plan injected no corruption", unprotected.token);
+    expect(unprotected.faults.corrupt_detected == 0, "selftest-unprotected",
+           "corruption was detected with checksums off", unprotected.token);
+    expect(!unprotected.completed ||
+               unprotected.digest != reference.digest || !unprotected.verified,
+           "selftest-unprotected",
+           "injected corruption left the file bit-identical to the clean "
+           "run: the planted bug did not reproduce",
+           unprotected.token);
+
+    // 3. integrity=repair: same plan, but every flip is detected and healed
+    // and the file comes out bit-identical to the clean reference.
+    CheckConfig repaired = config;
+    repaired.integrity = "repair";
+    const ScheduleOutcome protected_run = run_schedule(repaired, policy);
+    ++stats.schedules;
+    ++stats.faulted_runs;
+    stats.invariant_checks += protected_run.invariant_checks;
+    for (const Violation& violation : protected_run.violations) {
+      stats.violations.push_back({repaired.name, violation.invariant,
+                                  violation.detail, protected_run.token});
+    }
+    expect(protected_run.completed, "selftest-repair",
+           "corrupted run with integrity=repair did not complete: " +
+               protected_run.error,
+           protected_run.token);
+    expect(protected_run.faults.corrupt_injected > 0, "selftest-repair",
+           "fault plan injected no corruption", protected_run.token);
+    expect(protected_run.faults.corrupt_detected > 0, "selftest-repair",
+           "no injected corruption was detected", protected_run.token);
+    expect(!protected_run.completed ||
+               (protected_run.digest == reference.digest &&
+                protected_run.verified),
+           "selftest-repair",
+           "integrity=repair did not restore the clean run's bytes",
+           protected_run.token);
+  }
+  stats.distinct = stats.schedules;
+  return stats;
 }
 
 }  // namespace parcoll::check

@@ -38,6 +38,11 @@ struct CheckConfig {
   bool bb = false;
   std::uint64_t bb_capacity = 256ull << 20;
   std::string bb_drain = "immediate";
+  // Checksum pipeline level (off|detect|repair). Corruption configs run at
+  // repair so every injected flip heals and the content-equivalence check
+  // against the clean reference still applies.
+  std::string integrity = "off";
+  bool scrub = true;
 
   /// The byte-true RunSpec this configuration describes (before the
   /// schedule policy and checker are attached).
@@ -121,5 +126,15 @@ enum class InjectedBug {
 /// that the printed replay token reproduces them.
 [[nodiscard]] ScheduleOutcome run_bug_schedule(
     const sim::SchedulePolicy& policy, InjectedBug bug);
+
+/// Planted-bug self-test for the checksum pipeline (--inject-bug
+/// corruption): the same silently-corrupting fault plan is run three ways.
+/// The clean reference pins the expected bytes; with integrity off the
+/// corruption must slip through (digest diverges / audit fails — proving
+/// the injection is real and silent); with integrity=repair every flip
+/// must be detected and healed so the run matches the reference exactly.
+/// The returned stats carry a violation for each expectation that failed
+/// (empty violations = the demonstration holds).
+[[nodiscard]] ExploreStats corruption_selftest();
 
 }  // namespace parcoll::check

@@ -78,6 +78,13 @@ void InvariantChecker::on_reelection(int world_rank, std::uint64_t ctx,
                      roster_hash, reelections_, reelection_rounds_);
 }
 
+void InvariantChecker::on_error_agreement(int world_rank, std::uint64_t ctx,
+                                          int comm_size,
+                                          std::uint64_t outcome_word) {
+  on_agreement_round("error-agreement", world_rank, ctx, comm_size,
+                     outcome_word, error_agreements_, error_rounds_);
+}
+
 void InvariantChecker::finalize() {
   const auto flag_incomplete = [&](const char* what,
                                    std::map<SiteKey, Site>& sites) {
@@ -97,6 +104,7 @@ void InvariantChecker::finalize() {
   flag_incomplete("collective", colls_);
   flag_incomplete("partition round", partitions_);
   flag_incomplete("re-election round", reelections_);
+  flag_incomplete("error-agreement round", error_agreements_);
 }
 
 }  // namespace parcoll::check

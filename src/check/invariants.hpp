@@ -14,6 +14,10 @@
 //   reelection-agreement  all members of a subgroup agree on the agreed
 //                         time and the re-elected aggregator roster
 //                         (no split-brain), and every member participates.
+//   error-agreement       after a collective error-reduction, every member
+//                         holds the same outcome word (the same
+//                         unrecoverable-corruption extent, or none), so a
+//                         collective call throws on all ranks or on none.
 //   collective-complete   finalize(): no collective op was left with some
 //                         members arrived and others missing.
 //
@@ -55,6 +59,11 @@ class InvariantChecker {
   void on_reelection(int world_rank, std::uint64_t ctx, int comm_size,
                      std::uint64_t roster_hash);
 
+  /// A rank finished a collective error-agreement round on communicator
+  /// `ctx`; `outcome_word` is the reduced error word (0 = no error).
+  void on_error_agreement(int world_rank, std::uint64_t ctx, int comm_size,
+                          std::uint64_t outcome_word);
+
   /// Call after World::run returns normally: flags collectives and
   /// agreement rounds where members are still missing.
   void finalize();
@@ -91,9 +100,11 @@ class InvariantChecker {
   std::map<SiteKey, Site> colls_;
   std::map<SiteKey, Site> partitions_;
   std::map<SiteKey, Site> reelections_;
+  std::map<SiteKey, Site> error_agreements_;
   /// Per (ctx, rank) round counters for partition/re-election ordinals.
   std::map<std::pair<std::uint64_t, int>, std::uint64_t> partition_rounds_;
   std::map<std::pair<std::uint64_t, int>, std::uint64_t> reelection_rounds_;
+  std::map<std::pair<std::uint64_t, int>, std::uint64_t> error_rounds_;
   std::vector<Violation> violations_;
   std::uint64_t checks_ = 0;
 };

@@ -10,6 +10,7 @@
 #include "check/invariants.hpp"
 #include "core/intermediate_view.hpp"
 #include "core/subgroup.hpp"
+#include "fs/integrity.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/trace.hpp"
 #include "mpiio/ext2ph.hpp"
@@ -377,6 +378,27 @@ void record_fault_delta(mpiio::FileStats& delta,
   delta.fault_reelections = after.reelections - before.reelections;
   delta.fault_stalls = after.stalls - before.stalls;
 }
+
+/// Collective error agreement at the end of a collective call (integrity
+/// on only): reduce the highest-priority pending unrecoverable-corruption
+/// word over the call's communicator; a nonzero maximum makes every rank
+/// throw the identical CollectiveIoError. With integrity off this is never
+/// reached, so the default path stays free of the extra reduction.
+void agree_on_errors(mpiio::FileHandle& file) {
+  auto* integ = file.self().world().integrity();
+  if (integ == nullptr) {
+    return;
+  }
+  const std::uint64_t word = mpi::allreduce_max(file.self(), file.comm(),
+                                                integ->pending_word());
+  if (auto* checker = file.self().world().checker()) {
+    checker->on_error_agreement(file.self().rank(), file.comm().context_id(),
+                                file.comm().size(), word);
+  }
+  if (word != 0) {
+    throw integ->error_of(word);
+  }
+}
 }  // namespace
 
 CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
@@ -389,7 +411,15 @@ CollectiveOutcome write_at_all(mpiio::FileHandle& file, std::uint64_t offset,
       file.self().world().fault_counters(file.self().rank());
   mpiio::PreparedRequest prep =
       file.prepare_write(offset, buffer, count, memtype);
+  // Checksum the payload where it enters the pipeline: from here the block
+  // records ride alongside the data through staging, exchange, and drains.
+  if (auto* integ = file.self().world().integrity()) {
+    const double seconds = integ->register_write(
+        file.self().rank(), file.fs_id(), prep.extents, prep.data());
+    if (seconds > 0) file.self().busy(mpi::TimeCat::Integrity, seconds);
+  }
   const CollectiveOutcome outcome = run_partitioned(file, prep, true);
+  agree_on_errors(file);
 
   mpiio::FileStats delta;
   delta.time = mpiio::FileHandle::time_delta(before, file.time_snapshot());
@@ -423,7 +453,21 @@ CollectiveOutcome read_at_all(mpiio::FileHandle& file, std::uint64_t offset,
       file.self().world().fault_counters(file.self().rank());
   mpiio::PreparedRequest prep =
       file.prepare_read(offset, buffer, count, memtype);
+  // Client-side read verification: staged-undrained bb data would mismatch
+  // the registered checksums, so overlapping segments land first; then
+  // latent store corruption under this rank's extents is healed (Repair)
+  // or recorded (Detect) before any aggregator serves the bytes.
+  if (auto* integ = file.self().world().integrity()) {
+    if (auto* bb = file.bb_store(); bb != nullptr && !bb->idle()) {
+      bb->flush_overlapping(file.self(), prep.extents);
+    }
+    const double seconds =
+        integ->verify_ranges(file.self().rank(), file.fs_id(), prep.extents,
+                             file.self().world().fs().store());
+    if (seconds > 0) file.self().busy(mpi::TimeCat::Integrity, seconds);
+  }
   const CollectiveOutcome outcome = run_partitioned(file, prep, false);
+  agree_on_errors(file);
   file.finish_read(prep, buffer, count, memtype);
 
   mpiio::FileStats delta;

@@ -1,6 +1,8 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -12,6 +14,9 @@ namespace {
 
 constexpr std::uint64_t kDropStream = 0xD509;
 constexpr std::uint64_t kDelayStream = 0xDE1A;
+constexpr std::uint64_t kCorruptStream = 0xC0DE;
+constexpr std::uint64_t kBbCorruptStream = 0xB0BB;
+constexpr std::uint64_t kSiteStream = 0x517E;
 
 double fault_draw(std::uint64_t seed, std::uint64_t stream, int ost,
                   std::uint64_t draw) {
@@ -49,6 +54,20 @@ double to_double(const std::string& value, const std::string& key) {
   }
 }
 
+std::uint64_t to_uint64(const std::string& value, const std::string& key) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used);
+    if (used != value.size()) bad("trailing characters in " + key);
+    if (!value.empty() && value[0] == '-') bad(key + " must be >= 0");
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::invalid_argument&) {
+    bad("bad number for " + key + ": " + value);
+  } catch (const std::out_of_range&) {
+    bad("out-of-range number for " + key + ": " + value);
+  }
+}
+
 int to_int(const std::string& value, const std::string& key) {
   const double parsed = to_double(value, key);
   const int as_int = static_cast<int>(parsed);
@@ -60,7 +79,8 @@ int to_int(const std::string& value, const std::string& key) {
 
 bool FaultPlan::empty() const {
   return outages.empty() && degrades.empty() && stalls.empty() &&
-         rpc_drop_prob <= 0.0 && rpc_delay_prob <= 0.0;
+         media.empty() && rpc_drop_prob <= 0.0 && rpc_delay_prob <= 0.0 &&
+         rpc_corrupt_prob <= 0.0 && bb_corrupt_prob <= 0.0;
 }
 
 bool FaultPlan::ost_down(int ost, double at) const {
@@ -92,6 +112,21 @@ bool FaultPlan::delay_rpc(int ost, std::uint64_t draw) const {
   return fault_draw(seed, kDelayStream, ost, draw) < rpc_delay_prob;
 }
 
+bool FaultPlan::corrupt_rpc(int ost, std::uint64_t draw) const {
+  if (rpc_corrupt_prob <= 0.0) return false;
+  return fault_draw(seed, kCorruptStream, ost, draw) < rpc_corrupt_prob;
+}
+
+bool FaultPlan::corrupt_bb(int rank, std::uint64_t draw) const {
+  if (bb_corrupt_prob <= 0.0) return false;
+  return fault_draw(seed, kBbCorruptStream, rank, draw) < bb_corrupt_prob;
+}
+
+std::uint64_t FaultPlan::corrupt_site(std::uint64_t a, std::uint64_t b) const {
+  return sim::hash_combine(
+      sim::hash_combine(sim::mix64(seed ^ kSiteStream), a), b);
+}
+
 double FaultPlan::stall_remaining(int rank, double at) const {
   double remaining = 0.0;
   for (const RankStall& stall : stalls) {
@@ -121,7 +156,7 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     const std::string value = entry.substr(eq + 1);
     const auto fields = split(value, ':');
     if (key == "seed") {
-      plan.seed = static_cast<std::uint64_t>(to_double(value, key));
+      plan.seed = to_uint64(value, key);
     } else if (key == "ost-outage") {
       if (fields.size() != 3) bad("ost-outage wants OST:BEGIN:END");
       OstOutage outage;
@@ -148,6 +183,13 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       stall.duration = to_double(fields[2], key);
       if (stall.duration <= 0) bad("rank-stall duration must be > 0");
       plan.stalls.push_back(stall);
+    } else if (key == "media-corrupt") {
+      if (fields.size() != 2) bad("media-corrupt wants OST:AT");
+      MediaCorrupt event;
+      event.ost = to_int(fields[0], key);
+      event.at = to_double(fields[1], key);
+      if (event.at < 0) bad("media-corrupt time must be >= 0");
+      plan.media.push_back(event);
     } else if (key == "rpc-drop") {
       plan.rpc_drop_prob = to_double(value, key);
       if (plan.rpc_drop_prob < 0 || plan.rpc_drop_prob > 1) {
@@ -159,6 +201,16 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
       plan.rpc_delay_seconds = to_double(fields[1], key);
       if (plan.rpc_delay_prob < 0 || plan.rpc_delay_prob > 1) {
         bad("rpc-delay probability out of range");
+      }
+    } else if (key == "rpc-corrupt") {
+      plan.rpc_corrupt_prob = to_double(value, key);
+      if (plan.rpc_corrupt_prob < 0 || plan.rpc_corrupt_prob > 1) {
+        bad("rpc-corrupt must be a probability");
+      }
+    } else if (key == "bb-corrupt") {
+      plan.bb_corrupt_prob = to_double(value, key);
+      if (plan.bb_corrupt_prob < 0 || plan.bb_corrupt_prob > 1) {
+        bad("bb-corrupt must be a probability");
       }
     } else if (key == "timeout") {
       plan.retry.timeout = to_double(value, key);
@@ -186,6 +238,9 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
 
 std::string FaultPlan::describe() const {
   std::ostringstream os;
+  // Shortest-exact double rendering so parse(describe()) round-trips the
+  // plan bit-for-bit (the default 6 significant digits truncate).
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "seed=" << seed;
   for (const OstOutage& outage : outages) {
     os << ";ost-outage=" << outage.ost << ":" << outage.begin << ":"
@@ -199,10 +254,15 @@ std::string FaultPlan::describe() const {
     os << ";rank-stall=" << stall.rank << ":" << stall.at << ":"
        << stall.duration;
   }
+  for (const MediaCorrupt& event : media) {
+    os << ";media-corrupt=" << event.ost << ":" << event.at;
+  }
   if (rpc_drop_prob > 0) os << ";rpc-drop=" << rpc_drop_prob;
   if (rpc_delay_prob > 0) {
     os << ";rpc-delay=" << rpc_delay_prob << ":" << rpc_delay_seconds;
   }
+  if (rpc_corrupt_prob > 0) os << ";rpc-corrupt=" << rpc_corrupt_prob;
+  if (bb_corrupt_prob > 0) os << ";bb-corrupt=" << bb_corrupt_prob;
   os << ";timeout=" << retry.timeout << ";backoff=" << retry.backoff_base
      << ":" << retry.backoff_max << ";max-retries=" << retry.max_retries
      << ";agg-stall-threshold=" << agg_stall_threshold;
@@ -216,6 +276,10 @@ FaultCounters& FaultCounters::operator+=(const FaultCounters& other) {
   delays += other.delays;
   reelections += other.reelections;
   stalls += other.stalls;
+  corrupt_injected += other.corrupt_injected;
+  corrupt_detected += other.corrupt_detected;
+  corrupt_repaired += other.corrupt_repaired;
+  scrub_repairs += other.scrub_repairs;
   faulted_seconds += other.faulted_seconds;
   return *this;
 }

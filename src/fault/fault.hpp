@@ -30,6 +30,8 @@ struct OstOutage {
   int ost = -1;
   double begin = 0.0;
   double end = 0.0;
+
+  bool operator==(const OstOutage&) const = default;
 };
 
 /// OST `ost` runs degraded in [begin, end): service times are multiplied by
@@ -39,6 +41,8 @@ struct OstDegrade {
   double begin = 0.0;
   double end = 0.0;
   double factor = 1.0;
+
+  bool operator==(const OstDegrade&) const = default;
 };
 
 /// Rank `rank` stalls (e.g. OS noise, a wedged core) for `duration`
@@ -48,6 +52,20 @@ struct RankStall {
   int rank = -1;
   double at = 0.0;
   double duration = 0.0;
+
+  bool operator==(const RankStall&) const = default;
+};
+
+/// Latent media corruption: one stored byte on OST `ost` silently flips a
+/// bit at virtual time `at`. The flipped site is a seeded hash over the
+/// bytes the OST holds at that moment, so the event is deterministic for a
+/// given store state. A no-op while the OST holds no data (or in phantom
+/// store mode, which keeps no bytes to flip).
+struct MediaCorrupt {
+  int ost = -1;
+  double at = 0.0;
+
+  bool operator==(const MediaCorrupt&) const = default;
 };
 
 /// Client-side RPC recovery policy: a lost RPC is detected after `timeout`
@@ -59,6 +77,8 @@ struct RetryPolicy {
   double backoff_base = 0.01;
   double backoff_max = 0.2;
   int max_retries = 3;
+
+  bool operator==(const RetryPolicy&) const = default;
 };
 
 struct FaultPlan {
@@ -66,11 +86,18 @@ struct FaultPlan {
   std::vector<OstOutage> outages;
   std::vector<OstDegrade> degrades;
   std::vector<RankStall> stalls;
+  std::vector<MediaCorrupt> media;
   /// Probability that any one RPC is dropped en route (drawn per attempt).
   double rpc_drop_prob = 0.0;
   /// Probability that an RPC is delayed by rpc_delay_seconds.
   double rpc_delay_prob = 0.0;
   double rpc_delay_seconds = 0.0;
+  /// Probability that a write RPC's payload lands on the OST with a silent
+  /// bit flip (drawn per stored piece, fresh randomness per retransmit).
+  double rpc_corrupt_prob = 0.0;
+  /// Probability that a resident bb staging segment decays in the arena
+  /// between stage and drain (drawn per staged segment).
+  double bb_corrupt_prob = 0.0;
   /// A subgroup re-elects an aggregator whose remaining scheduled stall
   /// exceeds this threshold at collective-entry time.
   double agg_stall_threshold = 0.05;
@@ -86,6 +113,16 @@ struct FaultPlan {
   /// counter, so retries of a dropped RPC get fresh randomness.
   [[nodiscard]] bool drop_rpc(int ost, std::uint64_t draw) const;
   [[nodiscard]] bool delay_rpc(int ost, std::uint64_t draw) const;
+  /// Per-piece write-payload corruption draw (same counter discipline as
+  /// drop/delay: the caller supplies a monotone per-OST draw counter).
+  [[nodiscard]] bool corrupt_rpc(int ost, std::uint64_t draw) const;
+  /// Per-segment bb decay draw; `rank` keys the stream so draws are
+  /// schedule-independent (each rank counts its own staged segments).
+  [[nodiscard]] bool corrupt_bb(int rank, std::uint64_t draw) const;
+  /// Seeded site-selection hash for picking which byte/bit a corruption
+  /// event flips; deterministic in (seed, a, b).
+  [[nodiscard]] std::uint64_t corrupt_site(std::uint64_t a,
+                                           std::uint64_t b) const;
   /// Seconds of scheduled stall remaining for `rank` at time `at` (0 when
   /// none is in progress).
   [[nodiscard]] double stall_remaining(int rank, double at) const;
@@ -101,8 +138,11 @@ struct FaultPlan {
   /// std::invalid_argument on malformed input.
   static FaultPlan parse(const std::string& spec);
 
-  /// Canonical one-line rendering (stable across identical plans).
+  /// Canonical one-line rendering (stable across identical plans);
+  /// round-trips exactly: parse(describe()) == *this.
   [[nodiscard]] std::string describe() const;
+
+  bool operator==(const FaultPlan&) const = default;
 };
 
 /// Degraded-mode event counters. Kept per client/rank so a rank can
@@ -115,11 +155,17 @@ struct FaultCounters {
   std::uint64_t delays = 0;       // RPCs hit by the random delay process
   std::uint64_t reelections = 0;  // aggregators replaced by their subgroup
   std::uint64_t stalls = 0;       // rank stall events applied
+  std::uint64_t corrupt_injected = 0;  // silent corruption events planted
+  std::uint64_t corrupt_detected = 0;  // corruptions caught by a checksum
+  std::uint64_t corrupt_repaired = 0;  // corruptions healed in place
+  std::uint64_t scrub_repairs = 0;     // repairs made by the scrubber
   double faulted_seconds = 0.0;   // virtual time lost to timeouts/backoff
 
   FaultCounters& operator+=(const FaultCounters& other);
   [[nodiscard]] bool any() const {
-    return retries || failovers || drops || delays || reelections || stalls;
+    return retries || failovers || drops || delays || reelections || stalls ||
+           corrupt_injected || corrupt_detected || corrupt_repaired ||
+           scrub_repairs;
   }
 };
 

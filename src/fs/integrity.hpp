@@ -1,0 +1,175 @@
+// End-to-end data integrity for the simulated I/O stack.
+//
+// When a collective write is prepared, the user's bytes are chunked into
+// fixed-size blocks and checksummed (CRC-32C) where they enter the
+// pipeline. The block records ride alongside the data through intra-node
+// staging, the exchange phase, bb drains, and write RPCs; the stored bytes
+// are re-verified against them at the OST on ingest, before a bb segment
+// drains, at the client on read, and by a background scrubber that walks
+// the ObjectStore for latent media corruption. At IntegrityLevel::Repair
+// each record also retains a replica of the source bytes, so a detected
+// mismatch can be healed in place; at Detect a mismatch is only recorded,
+// and the pending error is surfaced through a collective error-reduction
+// so every rank of the communicator throws the identical CollectiveIoError.
+//
+// Like LustreSim, this layer knows nothing about MPI: callers are integer
+// client ids and every method returns the seconds of checksum work it
+// modeled, for the caller to charge (TimeCat::Integrity). With the level
+// Off no manager is ever constructed, so the disabled path stays
+// bit-identical to a build without the integrity layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "fs/object_store.hpp"
+#include "fs/stripe.hpp"
+
+namespace parcoll::fs {
+
+/// CRC-32C (Castagnoli), software table-driven; `seed` chains incremental
+/// updates (pass the previous return value).
+[[nodiscard]] std::uint32_t crc32c(const std::byte* data, std::size_t length,
+                                   std::uint32_t seed = 0);
+
+enum class IntegrityLevel {
+  Off,     // no checksums; corruption is silent (pre-PR behavior)
+  Detect,  // verify everywhere, report unrecoverable corruption collectively
+  Repair,  // Detect + heal mismatches from the retained source replica
+};
+
+[[nodiscard]] const char* to_string(IntegrityLevel level);
+[[nodiscard]] IntegrityLevel parse_integrity_level(const std::string& text);
+
+struct IntegrityConfig {
+  IntegrityLevel level = IntegrityLevel::Off;
+  /// Checksum block granularity: registered extents are chunked to this.
+  std::uint64_t block = 64ull << 10;
+  /// Modeled client-side checksum throughput (bytes/s) — the "overhead"
+  /// the abl_integrity ablation charts.
+  double checksum_bw = 4.0 * static_cast<double>(1ull << 30);
+  /// Run the background scrubber after each latent media-corruption event.
+  bool scrub = true;
+  /// Delay between a media event and the scrubber's visit.
+  double scrub_delay = 0.005;
+
+  [[nodiscard]] bool enabled() const { return level != IntegrityLevel::Off; }
+  bool operator==(const IntegrityConfig&) const = default;
+};
+
+/// Checksum-pipeline totals (world-global; FaultCounters carries the
+/// per-client injected/detected/repaired view).
+struct IntegrityCounters {
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes_checksummed = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t repaired = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t errors = 0;  // unrecoverable, pending collective agreement
+};
+
+/// The error every rank of the communicator throws after the collective
+/// error-reduction agrees recovery is exhausted for an extent.
+class CollectiveIoError : public std::runtime_error {
+ public:
+  CollectiveIoError(int fs_id, std::uint64_t offset, std::uint64_t length);
+
+  int fs_id;
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+
+class IntegrityManager {
+ public:
+  IntegrityManager(IntegrityConfig config, fault::FaultState* faults);
+
+  [[nodiscard]] const IntegrityConfig& config() const { return config_; }
+
+  /// Checksum (and, at Repair, retain) the payload entering a collective
+  /// write. `data` is the extents' concatenated payload; nullptr (phantom
+  /// mode) registers coverage and models cost without bytes. Returns the
+  /// modeled checksum seconds for the caller to charge.
+  double register_write(int client, int fs_id, std::span<const Extent> extents,
+                        const std::byte* data);
+
+  /// Verify an in-memory buffer (a bb staging segment about to drain)
+  /// against the records fully contained in `extents`; heals the buffer in
+  /// place at Repair level. `data` is the concatenated payload.
+  double verify_buffer(int client, int fs_id, std::span<const Extent> extents,
+                       std::byte* data);
+
+  /// Verify the stored bytes of every record overlapping `extents`
+  /// (client-on-read / OST ingest audit); heals the store at Repair level.
+  double verify_ranges(int client, int fs_id, std::span<const Extent> extents,
+                       ObjectStore& store);
+
+  /// Verify every record of every registered file (the scrubber's walk and
+  /// the close-time sweep). `by_scrubber` additionally counts heals as
+  /// scrub repairs. Records whose bytes have not fully landed on the store
+  /// yet (registered at collective entry, still staged or in flight) are
+  /// skipped — auditing them against the store would "detect" every
+  /// pending block.
+  double scrub_all(int client, ObjectStore& store, bool by_scrubber);
+
+  /// LustreSim calls this when a write piece commits to the object store:
+  /// records fully covered by landed bytes become scrubbable.
+  void mark_landed(int fs_id, std::uint64_t offset, std::uint64_t length);
+
+  /// Record an unrecoverable corruption, pending collective agreement.
+  void record_error(int fs_id, std::uint64_t offset, std::uint64_t length);
+
+  /// Wire-level pipeline outcomes: the OST ingest checksum (LustreSim)
+  /// rejected a corrupted RPC payload / a retransmit delivered the clean
+  /// bytes. Folded into the same counters as store-audit outcomes so the
+  /// close-time harvest sees every detection the pipeline made.
+  void note_wire_detected() { ++counters_.detected; }
+  void note_wire_repaired() { ++counters_.repaired; }
+
+  /// Nonzero word encoding the highest-priority pending error (0 = none);
+  /// ranks agree via allreduce_max over this word.
+  [[nodiscard]] std::uint64_t pending_word() const;
+
+  /// Build the agreed error from a nonzero word.
+  [[nodiscard]] CollectiveIoError error_of(std::uint64_t word) const;
+
+  [[nodiscard]] bool has_error() const { return !errors_.empty(); }
+  [[nodiscard]] const IntegrityCounters& counters() const { return counters_; }
+
+  /// Delta since the previous harvest (close-time stats attribution).
+  IntegrityCounters harvest();
+
+ private:
+  struct Record {
+    std::uint64_t length = 0;
+    std::uint64_t landed = 0;        // bytes committed to the store so far
+    std::uint32_t crc = 0;
+    bool phantom = false;           // registered without bytes
+    std::vector<std::byte> replica;  // retained source (memory mode)
+  };
+  using FileMap = std::map<std::uint64_t, Record>;
+
+  void erase_range(FileMap& map, std::uint64_t lo, std::uint64_t hi);
+  /// Verify one record against `actual` (record-length bytes); returns
+  /// true when the bytes now match the record (clean or healed). `heal`
+  /// writes the replica back through the callback on repair.
+  template <typename Heal>
+  bool check_record(int client, int fs_id, std::uint64_t offset,
+                    const Record& record, const std::byte* actual,
+                    bool by_scrubber, Heal&& heal);
+
+  IntegrityConfig config_;
+  fault::FaultState* faults_;
+  std::unordered_map<int, FileMap> files_;
+  std::vector<CollectiveIoError> errors_;
+  IntegrityCounters counters_;
+  IntegrityCounters harvested_;
+};
+
+}  // namespace parcoll::fs

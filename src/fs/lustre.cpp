@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fs/integrity.hpp"
 #include "obs/metrics.hpp"
 
 namespace parcoll::fs {
@@ -11,6 +12,7 @@ LustreSim::LustreSim(sim::Engine& engine,
                      const machine::StorageParams& params, StoreMode mode)
     : engine_(engine),
       params_(params),
+      mode_(mode),
       range_locks_(engine, params.flock_roundtrip, params.flock_server_time) {
   if (params_.num_osts <= 0) {
     throw std::invalid_argument("LustreSim: need at least one OST");
@@ -24,6 +26,7 @@ LustreSim::LustreSim(sim::Engine& engine,
   for (int i = 0; i < params_.num_osts; ++i) {
     osts_.emplace_back(i, params_);
   }
+  corrupt_draws_.resize(static_cast<std::size_t>(params_.num_osts), 0);
 }
 
 int LustreSim::open(const std::string& name, int stripe_count,
@@ -193,9 +196,16 @@ double LustreSim::submit(int client, int file_id,
             rpc.bytes += piece_len;
             // Data moves through the store piece by piece, in stream order.
             if (is_write) {
-              store_->write(file_id, pos,
-                            in == nullptr ? nullptr : in + data_pos,
-                            piece_len);
+              const std::byte* src = in == nullptr ? nullptr : in + data_pos;
+              store_->write(file_id, pos, src, piece_len);
+              if (integrity_ != nullptr) {
+                integrity_->mark_landed(file_id, pos, piece_len);
+              }
+              if (fault_plan_ != nullptr &&
+                  fault_plan_->rpc_corrupt_prob > 0.0) {
+                ingest_piece(client, file_id, ost_index, pos, src, piece_len,
+                             faulted_seconds);
+              }
             } else {
               store_->read(file_id, pos,
                            out == nullptr ? nullptr : out + data_pos,
@@ -213,6 +223,134 @@ double LustreSim::submit(int client, int file_id,
     flush(ost);
   }
   return last_completion;
+}
+
+void LustreSim::ingest_piece(int client, int file_id, int ost_index,
+                             std::uint64_t pos, const std::byte* src,
+                             std::uint64_t piece_len,
+                             double& faulted_seconds) {
+  // of(client) is re-fetched at every use: the counter vector reallocates
+  // when another fiber first touches a higher client id, which can happen
+  // during any sleep below — a reference held across a yield dangles.
+  int attempt = 0;
+  bool was_corrupt = false;
+  for (;;) {
+    const bool corrupted = fault_plan_->corrupt_rpc(
+        ost_index, corrupt_draws_[static_cast<std::size_t>(ost_index)]++);
+    if (corrupted) {
+      ++fault_state_->of(client).corrupt_injected;
+      // Flip one bit of a seeded byte of the stored piece.
+      const std::uint64_t site = fault_plan_->corrupt_site(
+          pos, piece_len + static_cast<std::uint64_t>(attempt));
+      if (mode_ == StoreMode::Memory) {
+        const std::uint64_t at = pos + site % piece_len;
+        std::byte b{};
+        store_->read(file_id, at, &b, 1);
+        b ^= static_cast<std::byte>(1u << ((site >> 32) & 7));
+        store_->write(file_id, at, &b, 1);
+      }
+    }
+    if (integrity_ == nullptr) {
+      return;  // no wire checksum: corruption (if any) lands silently
+    }
+    if (!corrupted) {
+      if (was_corrupt) {
+        // A retransmit delivered the clean payload.
+        ++fault_state_->of(client).corrupt_repaired;
+        integrity_->note_wire_repaired();
+      }
+      return;
+    }
+    // The OST's ingest checksum rejects the payload; the client resends
+    // under the same timeout/backoff policy as a swallowed RPC.
+    was_corrupt = true;
+    ++fault_state_->of(client).corrupt_detected;
+    integrity_->note_wire_detected();
+    if (attempt >= fault_plan_->retry.max_retries) {
+      // Retransmit budget exhausted. At Repair level the pipeline retains
+      // the clean source bytes, so the extent is healed in place rather
+      // than declared lost; at Detect there is no replica and the failing
+      // extent goes to collective agreement.
+      if (integrity_->config().level == IntegrityLevel::Repair) {
+        store_->write(file_id, pos, src, piece_len);
+        ++fault_state_->of(client).corrupt_repaired;
+        integrity_->note_wire_repaired();
+        return;
+      }
+      integrity_->record_error(file_id, pos, piece_len);
+      return;
+    }
+    const double wait =
+        fault_plan_->retry.timeout + fault_plan_->backoff(attempt);
+    engine_.sleep(wait);
+    faulted_seconds += wait;
+    fault::FaultCounters& mine = fault_state_->of(client);
+    mine.faulted_seconds += wait;
+    ++attempt;
+    ++mine.retries;
+    store_->write(file_id, pos, src, piece_len);  // resend the clean payload
+  }
+}
+
+void LustreSim::corrupt_media(const fault::MediaCorrupt& event,
+                              std::uint64_t event_index, int client) {
+  if (fault_plan_ == nullptr || mode_ != StoreMode::Memory) {
+    return;  // phantom stores hold no bytes to decay
+  }
+  if (event.ost < 0 || event.ost >= params_.num_osts) return;
+  // How many stored bytes the target OST holds, per file, right now.
+  const auto bytes_on_ost = [&](const FileMeta& file, std::uint64_t size) {
+    std::uint64_t held = 0;
+    for (std::uint64_t lo = 0; lo < size; lo += file.stripe_size) {
+      const int stripe =
+          static_cast<int>((lo / file.stripe_size) %
+                           static_cast<std::uint64_t>(file.stripe_count));
+      if ((file.ost_start + stripe) % params_.num_osts == event.ost) {
+        held += std::min(file.stripe_size, size - lo);
+      }
+    }
+    return held;
+  };
+  std::vector<std::pair<int, std::uint64_t>> holdings;
+  std::uint64_t total = 0;
+  for (int id = 0; id < static_cast<int>(files_.size()); ++id) {
+    const std::uint64_t held = bytes_on_ost(files_[static_cast<std::size_t>(id)],
+                                            store_->size(id));
+    if (held > 0) {
+      holdings.emplace_back(id, held);
+      total += held;
+    }
+  }
+  if (total == 0) return;  // the OST holds nothing yet: the event is a no-op
+  const std::uint64_t site = fault_plan_->corrupt_site(
+      event_index, static_cast<std::uint64_t>(event.ost));
+  std::uint64_t nth = site % total;
+  for (const auto& [id, held] : holdings) {
+    if (nth >= held) {
+      nth -= held;
+      continue;
+    }
+    // Walk this file's stripes on the target OST to the nth held byte.
+    const FileMeta& file = files_[static_cast<std::size_t>(id)];
+    const std::uint64_t size = store_->size(id);
+    for (std::uint64_t lo = 0; lo < size; lo += file.stripe_size) {
+      const int stripe =
+          static_cast<int>((lo / file.stripe_size) %
+                           static_cast<std::uint64_t>(file.stripe_count));
+      if ((file.ost_start + stripe) % params_.num_osts != event.ost) continue;
+      const std::uint64_t len = std::min(file.stripe_size, size - lo);
+      if (nth >= len) {
+        nth -= len;
+        continue;
+      }
+      std::byte b{};
+      store_->read(id, lo + nth, &b, 1);
+      b ^= static_cast<std::byte>(1u << ((site >> 32) & 7));
+      store_->write(id, lo + nth, &b, 1);
+      ++fault_state_->of(client).corrupt_injected;
+      return;
+    }
+  }
 }
 
 IoResult LustreSim::write(int client, int file_id,

@@ -35,6 +35,8 @@ class MetricsRegistry;
 
 namespace parcoll::fs {
 
+class IntegrityManager;
+
 struct FileMeta {
   std::string name;
   int stripe_count = 0;
@@ -82,6 +84,19 @@ class LustreSim {
   /// Attach a fault plan; forwarded to every OST (nulls detach).
   void set_fault(const fault::FaultPlan* plan, fault::FaultState* state);
 
+  /// Attach the integrity manager (null detaches). With it attached, a
+  /// write RPC whose payload the fault plan corrupts is caught by the wire
+  /// checksum at OST ingest and retransmitted under the retry policy;
+  /// without it the corruption lands silently.
+  void set_integrity(IntegrityManager* integrity) { integrity_ = integrity; }
+
+  /// Apply one latent media-corruption event: flip a bit of a seeded byte
+  /// among those OST `event.ost` currently holds (no-op while it holds
+  /// nothing, and in phantom mode). Called from an engine timer; never
+  /// sleeps. `client` attributes the injection counter.
+  void corrupt_media(const fault::MediaCorrupt& event,
+                     std::uint64_t event_index, int client);
+
   /// Attach a metrics registry (null detaches). Recording observes the
   /// clock and OST backlog but never sleeps, so timing is unchanged.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
@@ -104,15 +119,24 @@ class LustreSim {
   double submit(int client, int file_id, std::span<const Extent> extents,
                 const std::byte* in, std::byte* out, bool is_write,
                 double& faulted_seconds);
+  /// Corruption/ingest-verification loop for one stored write piece.
+  void ingest_piece(int client, int file_id, int ost_index, std::uint64_t pos,
+                    const std::byte* src, std::uint64_t piece_len,
+                    double& faulted_seconds);
 
   sim::Engine& engine_;
   const fault::FaultPlan* fault_plan_ = nullptr;
   fault::FaultState* fault_state_ = nullptr;
+  IntegrityManager* integrity_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   machine::StorageParams params_;
+  StoreMode mode_;
   RangeLockManager range_locks_;
   std::unique_ptr<ObjectStore> store_;
   std::vector<OstModel> osts_;
+  /// Per-OST monotone draw counters for the payload-corruption process
+  /// (fresh randomness per transmission, like the OSTs' drop/delay draws).
+  std::vector<std::uint64_t> corrupt_draws_;
   std::vector<FileMeta> files_;
   std::unordered_map<std::string, int> by_name_;
   /// Metadata (MDS) round-trip for open.

@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "fs/integrity.hpp"
 #include "fs/lustre.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/p2p.hpp"
@@ -34,6 +35,29 @@ void World::run(std::function<void(Rank&)> program) {
   ran_ = true;
   const int nranks = model_.topology.nranks();
   rank_times_.resize(static_cast<std::size_t>(nranks));
+  if (fault_plan_ != nullptr && !fault_plan_->media.empty()) {
+    // Latent media corruption fires on engine timers, independent of any
+    // rank's progress. When the scrubber is on, it visits shortly after
+    // each event; the close-time sweep remains the hard guarantee.
+    // Synthetic client ids sit past the ranks and the per-node drain
+    // agents so nobody's snapshot-and-diff counters see this activity.
+    const int media_client = nranks + model_.topology.num_nodes();
+    for (std::size_t i = 0; i < fault_plan_->media.size(); ++i) {
+      const fault::MediaCorrupt event = fault_plan_->media[i];
+      engine_.post(event.at, [this, event, i, media_client] {
+        fs_->corrupt_media(event, i, media_client);
+        // Only a Repair-level scrubber runs mid-run: it can heal, and a
+        // spurious mismatch on a block that is registered but not yet
+        // landed just writes the very bytes that are about to land. A
+        // Detect-level pass could record that transient as a hard error,
+        // so detection of media corruption waits for read/close passes.
+        if (integrity_ != nullptr && integrity_->config().scrub &&
+            integrity_->config().level == fs::IntegrityLevel::Repair) {
+          schedule_scrub(event.at + integrity_->config().scrub_delay);
+        }
+      });
+    }
+  }
   for (int r = 0; r < nranks; ++r) {
     engine_.spawn([this, r, program] {
       Rank self(*this, r);
@@ -61,6 +85,39 @@ Tracer& World::enable_tracing() {
     tracer_ = std::make_unique<Tracer>();
   }
   return *tracer_;
+}
+
+fs::IntegrityManager& World::enable_integrity(
+    const fs::IntegrityConfig& config) {
+  if (!integrity_) {
+    integrity_ = std::make_unique<fs::IntegrityManager>(config, &fault_state_);
+    fs_->set_integrity(integrity_.get());
+  }
+  return *integrity_;
+}
+
+void World::schedule_scrub(double at) {
+  engine_.post(at, [this] {
+    engine_.spawn([this] {
+      const int client = nranks() + model_.topology.num_nodes() + 1;
+      const auto stream = static_cast<std::uint64_t>(engine_.current());
+      const double begin = engine_.now();
+      obs::SpanId span = obs::kNoSpan;
+      if (tracer_ != nullptr) {
+        span = tracer_->spans().open(stream, client, obs::SpanKind::Scrub,
+                                     "scrub", begin);
+      }
+      const double seconds =
+          integrity_->scrub_all(client, fs_->store(), /*by_scrubber=*/true);
+      if (seconds > 0) engine_.sleep(seconds);
+      if (tracer_ != nullptr) {
+        tracer_->spans().close(stream, span, engine_.now());
+      }
+      if (metrics_ != nullptr) {
+        ++metrics_->counter("integrity.scrub_passes");
+      }
+    });
+  });
 }
 
 obs::MetricsRegistry& World::enable_metrics() {

@@ -25,6 +25,8 @@
 
 namespace parcoll::fs {
 class LustreSim;
+class IntegrityManager;
+struct IntegrityConfig;
 enum class StoreMode;
 }  // namespace parcoll::fs
 
@@ -92,6 +94,14 @@ class World {
   void set_checker(check::InvariantChecker* checker) { checker_ = checker; }
   [[nodiscard]] check::InvariantChecker* checker() { return checker_; }
 
+  /// Turn on the end-to-end checksum pipeline (idempotent; the first
+  /// caller's config wins, matching MPI-IO hint semantics where the first
+  /// opener's hints establish the file's shared state). Null when
+  /// disabled: every hook site guards with `if (auto* integ =
+  /// world.integrity())`, keeping the off path bit-identical.
+  fs::IntegrityManager& enable_integrity(const fs::IntegrityConfig& config);
+  [[nodiscard]] fs::IntegrityManager* integrity() { return integrity_.get(); }
+
   /// Install a fault plan (call before run()). An empty plan is never
   /// installed, so the fault-free path stays free of fault bookkeeping.
   void set_fault(const fault::FaultPlan& plan);
@@ -123,6 +133,8 @@ class World {
   }
 
  private:
+  void schedule_scrub(double at);
+
   machine::MachineModel model_;
   sim::Engine engine_;
   net::Network network_;
@@ -135,6 +147,7 @@ class World {
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   check::InvariantChecker* checker_ = nullptr;
+  std::unique_ptr<fs::IntegrityManager> integrity_;
   std::unique_ptr<fault::FaultPlan> fault_plan_;
   fault::FaultState fault_state_;
   double elapsed_ = 0.0;

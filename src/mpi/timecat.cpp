@@ -29,6 +29,8 @@ const char* to_string(TimeCat cat) {
       return "drain";
     case TimeCat::DrainWait:
       return "drain_wait";
+    case TimeCat::Integrity:
+      return "integrity";
   }
   return "?";
 }

@@ -21,8 +21,9 @@ enum class TimeCat : std::size_t {
   Intra = 5,    // two-level collective I/O: intra-node request aggregation
   Drain = 6,    // burst buffer: hidden write-behind of staged segments
   DrainWait = 7,  // burst buffer: exposed waits (flush, spill, read-through)
+  Integrity = 8,  // checksum pipeline: block CRCs, verify passes, scrubbing
 };
-inline constexpr std::size_t kNumTimeCats = 8;
+inline constexpr std::size_t kNumTimeCats = 9;
 
 struct TimeBreakdown {
   std::array<double, kNumTimeCats> seconds{};

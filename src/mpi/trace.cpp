@@ -63,11 +63,11 @@ std::string Tracer::gantt(int width, int max_ranks) const {
   }
 
   static constexpr char kGlyph[kNumTimeCats] = {'c', 'p', 'S', 'I',
-                                                'F', 'n', 'd', 'D'};
+                                                'F', 'n', 'd', 'D', 'k'};
   std::ostringstream os;
   os << "time 0.." << horizon
      << "s  (c=compute p=p2p S=sync I=io F=faulted n=intra d=drain "
-        "D=drain_wait .=idle)\n";
+        "D=drain_wait k=integrity .=idle)\n";
   for (int r = 0; r < rows; ++r) {
     os << "r";
     os.width(4);

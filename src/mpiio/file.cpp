@@ -5,6 +5,8 @@
 
 #include "bb/staging.hpp"
 #include "dtype/pack.hpp"
+#include "fs/integrity.hpp"
+#include "obs/metrics.hpp"
 #include "mpi/collectives.hpp"
 #include "mpiio/ext2ph.hpp"
 
@@ -63,6 +65,12 @@ FileHandle::FileHandle(mpi::Rank& self, const mpi::Comm& comm,
   if (common_->hints.bb.enabled) {
     common_->bb = bb::shared_store(self.world(), comm.context_id(), fs_id,
                                    common_->hints.bb);
+  }
+  if (common_->hints.integrity.enabled()) {
+    // World-wide singleton; the first opener's config wins (enable_integrity
+    // is idempotent). With the hint off nothing is ever installed, so the
+    // default path stays bit-identical.
+    self.world().enable_integrity(common_->hints.integrity);
   }
   // Collective open semantics: nobody proceeds until everyone has opened.
   mpi::barrier(self, comm);
@@ -222,6 +230,12 @@ void FileHandle::write_at(std::uint64_t offset, const void* buffer,
   require_writable();
   const auto before = time_snapshot();
   PreparedRequest request = prepare_write(offset, buffer, count, memtype);
+  if (auto* integ = self_.world().integrity()) {
+    const double seconds = integ->register_write(self_.rank(), fs_id(),
+                                                 request.extents,
+                                                 request.data());
+    if (seconds > 0) self_.busy(mpi::TimeCat::Integrity, seconds);
+  }
   // Independent writes go straight to the filesystem; overlapping staged
   // burst-buffer data must land first so the later write still wins.
   if (common_->bb && !common_->bb->idle()) {
@@ -255,6 +269,15 @@ void FileHandle::read_at(std::uint64_t offset, void* buffer,
   // Read-your-writes: staged data covering these extents must land first.
   if (common_->bb && !common_->bb->idle()) {
     common_->bb->flush_overlapping(self_, request.extents);
+  }
+  // Client-side read verification, after the bb flush (staged-undrained
+  // data would otherwise mismatch the registered checksums): latent store
+  // corruption under these extents is healed (Repair) or recorded (Detect)
+  // before the bytes are returned.
+  if (auto* integ = self_.world().integrity()) {
+    const double seconds = integ->verify_ranges(
+        self_.rank(), fs_id(), request.extents, self_.world().fs().store());
+    if (seconds > 0) self_.busy(mpi::TimeCat::Integrity, seconds);
   }
   DirectTarget target(self_.world().fs(), fs_id());
   target.read(self_, request.extents, request.packed.empty()
@@ -294,6 +317,43 @@ void FileHandle::close() {
       delta.bb_drain_retries = counters.drain_retries;
       delta.bb_drain_failovers = counters.drain_failovers;
       add_stats(delta);
+    }
+  }
+  if (auto* integ = self_.world().integrity()) {
+    // Close-time integrity sweep: everyone arrives first so no rank can
+    // still be writing, then one rank re-verifies every registered block
+    // (the hard guarantee behind the scrubber's best-effort passes) and
+    // folds the pipeline counters into the file stats.
+    mpi::barrier(self_, common_->comm);
+    if (common_->comm.local_rank(self_.rank()) == 0) {
+      const double seconds = integ->scrub_all(
+          self_.rank(), self_.world().fs().store(), /*by_scrubber=*/false);
+      if (seconds > 0) self_.busy(mpi::TimeCat::Integrity, seconds);
+      const fs::IntegrityCounters harvest = integ->harvest();
+      FileStats delta;
+      delta.integrity_blocks = harvest.blocks;
+      delta.integrity_bytes = harvest.bytes_checksummed;
+      delta.corrupt_detected = harvest.detected;
+      delta.corrupt_repaired = harvest.repaired;
+      delta.scrub_repairs = harvest.scrub_repairs;
+      delta.integrity_errors = harvest.errors;
+      add_stats(delta);
+      if (auto* metrics = self_.world().metrics()) {
+        metrics->counter("integrity.blocks") += harvest.blocks;
+        metrics->counter("integrity.bytes") += harvest.bytes_checksummed;
+        metrics->counter("integrity.detected") += harvest.detected;
+        metrics->counter("integrity.repaired") += harvest.repaired;
+        metrics->counter("integrity.scrub_repairs") += harvest.scrub_repairs;
+        metrics->counter("integrity.errors") += harvest.errors;
+      }
+    }
+    // Collective error agreement: recovery-exhausted extents surface as
+    // the identical CollectiveIoError on every rank, or on none.
+    const std::uint64_t word =
+        mpi::allreduce_max(self_, common_->comm, integ->pending_word());
+    if (word != 0) {
+      mpi::barrier(self_, common_->comm);
+      throw integ->error_of(word);
     }
   }
   mpi::barrier(self_, common_->comm);

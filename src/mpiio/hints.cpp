@@ -90,6 +90,12 @@ void Hints::set(const std::string& key, const std::string& value) {
       throw std::invalid_argument("Hints::set: bad bb value: " + value);
     }
   } else if (key == "bb_capacity") {
+    // stoull silently wraps a negative string around to a huge arena;
+    // reject the sign explicitly so "-1" cannot masquerade as ~2^64 bytes.
+    if (value.find('-') != std::string::npos) {
+      throw std::invalid_argument(
+          "Hints::set: bb_capacity must be positive (got " + value + ")");
+    }
     bb.capacity = std::stoull(value);
     if (bb.capacity == 0) {
       throw std::invalid_argument(
@@ -99,8 +105,38 @@ void Hints::set(const std::string& key, const std::string& value) {
     bb.policy = bb::parse_drain_policy(value);
   } else if (key == "bb_hi_watermark") {
     bb.hi_watermark = std::stod(value);
+    if (bb.hi_watermark < 0 || bb.hi_watermark > 1) {
+      throw std::invalid_argument(
+          "Hints::set: bb_hi_watermark must be a capacity fraction in "
+          "[0, 1] (got " + value + ")");
+    }
   } else if (key == "bb_lo_watermark") {
     bb.lo_watermark = std::stod(value);
+    if (bb.lo_watermark < 0 || bb.lo_watermark > 1) {
+      throw std::invalid_argument(
+          "Hints::set: bb_lo_watermark must be a capacity fraction in "
+          "[0, 1] (got " + value + ")");
+    }
+  } else if (key == "integrity") {
+    integrity.level = fs::parse_integrity_level(value);
+  } else if (key == "integrity_block") {
+    if (value.find('-') != std::string::npos) {
+      throw std::invalid_argument(
+          "Hints::set: integrity_block must be positive (got " + value + ")");
+    }
+    integrity.block = std::stoull(value);
+    if (integrity.block == 0) {
+      throw std::invalid_argument(
+          "Hints::set: integrity_block must be positive (got 0)");
+    }
+  } else if (key == "scrub") {
+    if (value == "enable" || value == "true" || value == "1") {
+      integrity.scrub = true;
+    } else if (value == "disable" || value == "false" || value == "0") {
+      integrity.scrub = false;
+    } else {
+      throw std::invalid_argument("Hints::set: bad scrub value: " + value);
+    }
   } else if (key == "bb_deadline") {
     bb.drain_deadline = std::stod(value);
     if (bb.drain_deadline <= 0) {
@@ -144,14 +180,19 @@ void Hints::validate(int comm_size) const {
     throw std::invalid_argument("Hints: bb_capacity must be positive");
   }
   if (bb.hi_watermark < 0 || bb.hi_watermark > 1 || bb.lo_watermark < 0 ||
-      bb.lo_watermark > 1 || bb.lo_watermark > bb.hi_watermark) {
+      bb.lo_watermark > 1 || bb.lo_watermark >= bb.hi_watermark) {
+    // lo == hi would make the watermark drainer start and stop at the same
+    // fill level (it could never hold hysteresis), so require lo < hi.
     throw std::invalid_argument(
-        "Hints: bb watermarks must satisfy 0 <= lo <= hi <= 1 (got lo=" +
+        "Hints: bb watermarks must satisfy 0 <= lo < hi <= 1 (got lo=" +
         std::to_string(bb.lo_watermark) + " hi=" +
         std::to_string(bb.hi_watermark) + ")");
   }
   if (bb.drain_deadline <= 0) {
     throw std::invalid_argument("Hints: bb_deadline must be positive");
+  }
+  if (integrity.block == 0) {
+    throw std::invalid_argument("Hints: integrity_block must be positive");
   }
 }
 
@@ -179,6 +220,9 @@ std::string Hints::get(const std::string& key) const {
   if (key == "bb_hi_watermark") return std::to_string(bb.hi_watermark);
   if (key == "bb_lo_watermark") return std::to_string(bb.lo_watermark);
   if (key == "bb_deadline") return std::to_string(bb.drain_deadline);
+  if (key == "integrity") return fs::to_string(integrity.level);
+  if (key == "integrity_block") return std::to_string(integrity.block);
+  if (key == "scrub") return integrity.scrub ? "enable" : "disable";
   if (key == "parcoll_view_switch") return parcoll_view_switch ? "true" : "false";
   if (key == "parcoll_persistent_groups") {
     return parcoll_persistent_groups ? "true" : "false";

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bb/options.hpp"
+#include "fs/integrity.hpp"
 #include "node/options.hpp"
 
 namespace parcoll::mpiio {
@@ -82,6 +83,15 @@ struct Hints {
   /// `bb_hi_watermark` / `bb_lo_watermark` (capacity fractions),
   /// `bb_deadline` (seconds before a staged segment must start draining).
   bb::BbConfig bb;
+
+  // --- End-to-end data integrity (checksum pipeline) ---
+  /// Off by default: no checksums, bit-identical to the historical path.
+  /// Keys: `integrity` (off|detect|repair) — detect verifies user data at
+  /// every relay hop and reports unrecoverable corruption as a collective
+  /// error; repair additionally heals mismatches from the retained source
+  /// replica. `integrity_block` (checksum block bytes), `scrub`
+  /// (enable/disable the background scrubber after media events).
+  fs::IntegrityConfig integrity;
 
   /// MPI_Info-style string interface. Unknown keys throw; values that can
   /// never be valid (zero cb_buffer_size, non-positive group counts other

@@ -34,6 +34,12 @@ FileStats& FileStats::operator+=(const FileStats& other) {
   bb_conflict_flushes += other.bb_conflict_flushes;
   bb_drain_retries += other.bb_drain_retries;
   bb_drain_failovers += other.bb_drain_failovers;
+  integrity_blocks += other.integrity_blocks;
+  integrity_bytes += other.integrity_bytes;
+  corrupt_detected += other.corrupt_detected;
+  corrupt_repaired += other.corrupt_repaired;
+  scrub_repairs += other.scrub_repairs;
+  integrity_errors += other.integrity_errors;
   return *this;
 }
 
@@ -49,6 +55,9 @@ std::string FileStats::summary(const std::string& name) const {
   if (time[mpi::TimeCat::Drain] > 0 || time[mpi::TimeCat::DrainWait] > 0) {
     os << "s drain=" << time[mpi::TimeCat::Drain]
        << "s dwait=" << time[mpi::TimeCat::DrainWait];
+  }
+  if (time[mpi::TimeCat::Integrity] > 0) {
+    os << "s integrity=" << time[mpi::TimeCat::Integrity];
   }
   os << "s (sum over ranks)\n";
   os << "  data:   written=" << bytes_written << "B read=" << bytes_read
@@ -78,6 +87,13 @@ std::string FileStats::summary(const std::string& name) const {
        << "B) conflict_flushes=" << bb_conflict_flushes
        << " drain_retries=" << bb_drain_retries
        << " drain_failovers=" << bb_drain_failovers;
+  }
+  if (integrity_blocks || corrupt_detected || integrity_errors) {
+    os << "\n  integrity: blocks=" << integrity_blocks << " ("
+       << integrity_bytes << "B) detected=" << corrupt_detected
+       << " repaired=" << corrupt_repaired
+       << " scrub_repairs=" << scrub_repairs
+       << " errors=" << integrity_errors;
   }
   return os.str();
 }

@@ -52,6 +52,14 @@ struct FileStats {
   std::uint64_t bb_conflict_flushes = 0;
   std::uint64_t bb_drain_retries = 0;
   std::uint64_t bb_drain_failovers = 0;
+  /// Checksum-pipeline activity (all zero unless the integrity hint is on):
+  /// merged from the IntegrityManager at close by the file's first rank.
+  std::uint64_t integrity_blocks = 0;
+  std::uint64_t integrity_bytes = 0;
+  std::uint64_t corrupt_detected = 0;
+  std::uint64_t corrupt_repaired = 0;
+  std::uint64_t scrub_repairs = 0;
+  std::uint64_t integrity_errors = 0;
 
   FileStats& operator+=(const FileStats& other);
 

@@ -49,6 +49,12 @@ JsonValue file_stats_json(const mpiio::FileStats& stats) {
   doc.set("bb_conflict_flushes", stats.bb_conflict_flushes);
   doc.set("bb_drain_retries", stats.bb_drain_retries);
   doc.set("bb_drain_failovers", stats.bb_drain_failovers);
+  doc.set("integrity_blocks", stats.integrity_blocks);
+  doc.set("integrity_bytes", stats.integrity_bytes);
+  doc.set("corrupt_detected", stats.corrupt_detected);
+  doc.set("corrupt_repaired", stats.corrupt_repaired);
+  doc.set("scrub_repairs", stats.scrub_repairs);
+  doc.set("integrity_errors", stats.integrity_errors);
   return doc;
 }
 
@@ -60,6 +66,10 @@ JsonValue fault_counters_json(const fault::FaultCounters& faults) {
   doc.set("delays", faults.delays);
   doc.set("reelections", faults.reelections);
   doc.set("stalls", faults.stalls);
+  doc.set("corrupt_injected", faults.corrupt_injected);
+  doc.set("corrupt_detected", faults.corrupt_detected);
+  doc.set("corrupt_repaired", faults.corrupt_repaired);
+  doc.set("scrub_repairs", faults.scrub_repairs);
   doc.set("faulted_seconds", faults.faulted_seconds);
   return doc;
 }
@@ -123,6 +133,12 @@ void export_file_stats(MetricsRegistry& metrics,
   metrics.counter("stats.bb_drained_bytes") = stats.bb_drained_bytes;
   metrics.counter("stats.bb_spills") = stats.bb_spills;
   metrics.counter("stats.bb_spill_bytes") = stats.bb_spill_bytes;
+  metrics.counter("stats.integrity_blocks") = stats.integrity_blocks;
+  metrics.counter("stats.integrity_bytes") = stats.integrity_bytes;
+  metrics.counter("stats.corrupt_detected") = stats.corrupt_detected;
+  metrics.counter("stats.corrupt_repaired") = stats.corrupt_repaired;
+  metrics.counter("stats.scrub_repairs") = stats.scrub_repairs;
+  metrics.counter("stats.integrity_errors") = stats.integrity_errors;
   metrics.gauge("stats.last_num_groups") =
       static_cast<double>(stats.last_num_groups);
 }
@@ -135,6 +151,10 @@ void export_fault_counters(MetricsRegistry& metrics,
   metrics.counter("fault.delays") = faults.delays;
   metrics.counter("fault.reelections") = faults.reelections;
   metrics.counter("fault.stalls") = faults.stalls;
+  metrics.counter("fault.corrupt_injected") = faults.corrupt_injected;
+  metrics.counter("fault.corrupt_detected") = faults.corrupt_detected;
+  metrics.counter("fault.corrupt_repaired") = faults.corrupt_repaired;
+  metrics.counter("fault.scrub_repairs") = faults.scrub_repairs;
   metrics.gauge("fault.faulted_seconds") = faults.faulted_seconds;
 }
 

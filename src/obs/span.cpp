@@ -11,6 +11,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::Stage:    return "stage";
     case SpanKind::Phase:    return "phase";
     case SpanKind::Drain:    return "drain";
+    case SpanKind::Scrub:    return "scrub";
   }
   return "?";
 }

@@ -27,6 +27,7 @@ enum class SpanKind : std::uint8_t {
   Stage = 2,     // plan / exchange-I/O cycle / finalize / intra step
   Phase = 3,     // leaf: a TimeCat charge (sync, p2p, io, intra, faulted)
   Drain = 4,     // burst-buffer write-behind of one staged segment
+  Scrub = 5,     // background integrity scrub walking the object store
 };
 
 [[nodiscard]] const char* to_string(SpanKind kind);

@@ -4,12 +4,50 @@
 #include <stdexcept>
 #include <utility>
 
+// ucontext swaps stacks behind AddressSanitizer's back. Without the fiber
+// annotations ASan believes the OS thread stack is still current, so an
+// exception thrown on a fiber stack (__asan_handle_no_return) unpoisons the
+// wrong region and aborts with a bogus stack-use-after-scope. Announce every
+// switch when compiled with ASan; plain builds compile the hooks away.
+#if defined(__SANITIZE_ADDRESS__)
+#define PARCOLL_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PARCOLL_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(PARCOLL_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace parcoll::sim {
+namespace {
+
+inline void asan_start_switch([[maybe_unused]] void** save,
+                              [[maybe_unused]] const void* target_bottom,
+                              [[maybe_unused]] std::size_t target_size) {
+#if defined(PARCOLL_ASAN_FIBERS)
+  __sanitizer_start_switch_fiber(save, target_bottom, target_size);
+#endif
+}
+
+inline void asan_finish_switch([[maybe_unused]] void* saved,
+                               [[maybe_unused]] const void** old_bottom,
+                               [[maybe_unused]] std::size_t* old_size) {
+#if defined(PARCOLL_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(saved, old_bottom, old_size);
+#endif
+}
+
+}  // namespace
 
 thread_local Fiber* Fiber::current_ = nullptr;
 
 Fiber::Fiber(Body body, std::size_t stack_bytes)
-    : stack_(new char[stack_bytes]), body_(std::move(body)) {
+    : stack_(new char[stack_bytes]),
+      stack_bytes_(stack_bytes),
+      body_(std::move(body)) {
   if (getcontext(&context_) != 0) {
     throw std::runtime_error("Fiber: getcontext failed");
   }
@@ -29,8 +67,15 @@ void Fiber::trampoline(unsigned int ptr_hi, unsigned int ptr_lo) {
   auto self = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(ptr_hi) << 32) |
       static_cast<std::uintptr_t>(ptr_lo));
+  // First time on this stack: complete the switch the scheduler started and
+  // learn the scheduler stack bounds for the trips back.
+  asan_finish_switch(nullptr, &self->asan_sched_stack_bottom_,
+                     &self->asan_sched_stack_size_);
   self->run_body();
-  // Returning lets ucontext follow uc_link back to return_point_.
+  // Returning lets ucontext follow uc_link back to return_point_. The fiber
+  // is done for good, so pass no save slot: ASan frees its fake stack.
+  asan_start_switch(nullptr, self->asan_sched_stack_bottom_,
+                    self->asan_sched_stack_size_);
 }
 
 void Fiber::run_body() {
@@ -52,7 +97,10 @@ void Fiber::resume() {
   }
   started_ = true;
   current_ = this;
+  void* sched_fake_stack = nullptr;
+  asan_start_switch(&sched_fake_stack, stack_.get(), stack_bytes_);
   swapcontext(&return_point_, &context_);
+  asan_finish_switch(sched_fake_stack, nullptr, nullptr);
   // Back on the scheduler: either the fiber yielded or it finished.
   if (finished_ && exception_) {
     std::exception_ptr rethrown = std::exchange(exception_, nullptr);
@@ -65,7 +113,11 @@ void Fiber::yield() {
     throw std::logic_error("Fiber::yield called from the wrong context");
   }
   current_ = nullptr;
+  asan_start_switch(&asan_fake_stack_, asan_sched_stack_bottom_,
+                    asan_sched_stack_size_);
   swapcontext(&context_, &return_point_);
+  asan_finish_switch(asan_fake_stack_, &asan_sched_stack_bottom_,
+                     &asan_sched_stack_size_);
   current_ = this;
 }
 

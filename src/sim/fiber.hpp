@@ -56,10 +56,17 @@ class Fiber {
   ucontext_t context_{};
   ucontext_t return_point_{};
   std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_ = 0;
   Body body_;
   std::exception_ptr exception_;
   bool started_ = false;
   bool finished_ = false;
+  // Bookkeeping for the AddressSanitizer fiber-switch annotations (unused in
+  // non-sanitized builds): the fiber's saved fake stack and the scheduler
+  // stack bounds learned on first entry, needed to switch back legally.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_sched_stack_bottom_ = nullptr;
+  std::size_t asan_sched_stack_size_ = 0;
 
   static thread_local Fiber* current_;
 };

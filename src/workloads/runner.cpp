@@ -35,6 +35,7 @@ mpiio::Hints RunSpec::hints() const {
   hints.cb_intranode = intranode;
   hints.cb_intranode_leader = intranode_leader;
   hints.bb = bb;
+  hints.integrity = integrity;
   return hints;
 }
 

@@ -63,6 +63,9 @@ struct RunSpec {
   /// Burst-buffer staging tier (disabled keeps the historical direct
   /// writes; see bb/options.hpp for the policy knobs).
   bb::BbConfig bb;
+  /// End-to-end checksum pipeline (Off keeps the historical runs
+  /// bit-identical; see fs/integrity.hpp for the knobs).
+  fs::IntegrityConfig integrity;
   /// Optional calibration tweak applied to the machine model before a run.
   std::function<void(machine::MachineModel&)> tweak_model;
   /// Deterministic fault plan injected into the run (empty = fault-free;

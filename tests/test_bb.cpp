@@ -71,6 +71,53 @@ TEST(BbHints, ParseRoundTripAndValidation) {
   EXPECT_THROW(inverted.validate(8), std::invalid_argument);
 }
 
+TEST(BbHints, RejectsImpossibleValuesWithClearMessages) {
+  mpiio::Hints hints;
+  // Negative and zero capacities are rejected at set time — stoull would
+  // silently wrap a negative string to a huge arena, so the sign is
+  // checked before parsing.
+  for (const char* bad : {"0", "-1", "-1048576"}) {
+    try {
+      hints.set("bb_capacity", bad);
+      FAIL() << "bb_capacity accepted " << bad;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find("bb_capacity"),
+                std::string::npos)
+          << error.what();
+      EXPECT_NE(std::string(error.what()).find("positive"), std::string::npos)
+          << error.what();
+    }
+  }
+  // Deadlines must be strictly positive.
+  for (const char* bad : {"0", "-0.5"}) {
+    EXPECT_THROW(hints.set("bb_deadline", bad), std::invalid_argument)
+        << "bb_deadline accepted " << bad;
+  }
+  // Watermarks are fractions of the arena: [0, 1] at set time.
+  for (const char* bad : {"-0.1", "1.5"}) {
+    EXPECT_THROW(hints.set("bb_hi_watermark", bad), std::invalid_argument);
+    EXPECT_THROW(hints.set("bb_lo_watermark", bad), std::invalid_argument);
+  }
+  // Equal watermarks leave no hysteresis band: rejected like inversion.
+  mpiio::Hints equal;
+  equal.set("bb", "enable");
+  equal.set("bb_hi_watermark", "0.5");
+  equal.set("bb_lo_watermark", "0.5");
+  try {
+    equal.validate(8);
+    FAIL() << "equal watermarks validated";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("watermark"), std::string::npos)
+        << error.what();
+  }
+  // The boundary values themselves are fine.
+  mpiio::Hints ok;
+  ok.set("bb", "enable");
+  ok.set("bb_lo_watermark", "0.0");
+  ok.set("bb_hi_watermark", "1.0");
+  EXPECT_NO_THROW(ok.validate(8));
+}
+
 // --- bb off: bit-identity --------------------------------------------------
 
 TEST(BurstBuffer, DisabledIsBitIdenticalAndInert) {

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,101 @@ TEST(FaultPlan, ParseRoundTripsThroughDescribe) {
   // describe() is canonical: reparsing it reproduces itself.
   const fault::FaultPlan again = fault::FaultPlan::parse(plan.describe());
   EXPECT_EQ(again.describe(), plan.describe());
+}
+
+/// Property test: describe() is an exact, canonical inverse of parse() for
+/// arbitrary plans — including the silent-corruption keys. Every field is
+/// drawn randomly (doubles included: describe renders shortest-exact, so
+/// the round-trip must be bit-for-bit), and parse(describe(p)) == p.
+TEST(FaultPlan, DescribeParseRoundTripsRandomizedPlans) {
+  std::mt19937_64 rng(0xF00DF00Du);
+  const auto uniform = [&](double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  };
+  const auto count = [&](int max) {
+    return std::uniform_int_distribution<int>(0, max)(rng);
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    fault::FaultPlan plan;
+    plan.seed = rng();  // full 64-bit range
+    for (int i = count(3); i > 0; --i) {
+      const double begin = uniform(0.0, 10.0);
+      plan.outages.push_back(
+          {count(71), begin, begin + uniform(0.001, 5.0)});
+    }
+    for (int i = count(2); i > 0; --i) {
+      const double begin = uniform(0.0, 10.0);
+      plan.degrades.push_back(
+          {count(71), begin, begin + uniform(0.001, 5.0),
+           uniform(1.5, 8.0)});
+    }
+    for (int i = count(2); i > 0; --i) {
+      plan.stalls.push_back({count(127), uniform(0.0, 10.0),
+                             uniform(0.001, 5.0)});
+    }
+    for (int i = count(2); i > 0; --i) {
+      plan.media.push_back({count(71), uniform(0.0, 10.0)});
+    }
+    if (count(1) != 0) plan.rpc_drop_prob = uniform(0.001, 0.999);
+    if (count(1) != 0) {
+      // Delay seconds only travel with a nonzero probability: describe()
+      // omits the pair entirely when the delay process is off.
+      plan.rpc_delay_prob = uniform(0.001, 0.999);
+      plan.rpc_delay_seconds = uniform(0.0001, 0.1);
+    }
+    if (count(1) != 0) plan.rpc_corrupt_prob = uniform(0.001, 0.999);
+    if (count(1) != 0) plan.bb_corrupt_prob = uniform(0.001, 0.999);
+    plan.agg_stall_threshold = uniform(0.001, 0.2);
+    plan.retry.timeout = uniform(0.001, 0.1);
+    plan.retry.backoff_base = uniform(0.0005, 0.05);
+    plan.retry.backoff_max = plan.retry.backoff_base * uniform(1.0, 10.0);
+    plan.retry.max_retries = count(10);
+
+    const std::string spec = plan.describe();
+    fault::FaultPlan again;
+    try {
+      again = fault::FaultPlan::parse(spec);
+    } catch (const std::exception& error) {
+      FAIL() << "trial " << trial << ": describe() produced an unparseable "
+             << "spec: " << error.what() << "\n  " << spec;
+    }
+    EXPECT_EQ(again, plan) << "trial " << trial << "\n  " << spec;
+    EXPECT_EQ(again.describe(), spec) << "trial " << trial;
+  }
+}
+
+TEST(FaultPlan, CorruptionKeysParseAndValidate) {
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed=5;rpc-corrupt=0.25;bb-corrupt=0.1;media-corrupt=3:0.5;"
+      "media-corrupt=3:1.5");
+  EXPECT_DOUBLE_EQ(plan.rpc_corrupt_prob, 0.25);
+  EXPECT_DOUBLE_EQ(plan.bb_corrupt_prob, 0.1);
+  ASSERT_EQ(plan.media.size(), 2u);  // repeatable key
+  EXPECT_EQ(plan.media[0].ost, 3);
+  EXPECT_DOUBLE_EQ(plan.media[1].at, 1.5);
+  EXPECT_FALSE(plan.empty());
+
+  EXPECT_THROW(fault::FaultPlan::parse("rpc-corrupt=1.5"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("rpc-corrupt=-0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("bb-corrupt=2"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("media-corrupt=1"),
+               std::invalid_argument);
+
+  // Corruption draws are seed-deterministic and stream-independent.
+  const fault::FaultPlan same = fault::FaultPlan::parse(
+      "seed=5;rpc-corrupt=0.25;bb-corrupt=0.1");
+  int corrupted = 0;
+  for (std::uint64_t draw = 0; draw < 1000; ++draw) {
+    EXPECT_EQ(plan.corrupt_rpc(0, draw), same.corrupt_rpc(0, draw));
+    EXPECT_EQ(plan.corrupt_bb(4, draw), same.corrupt_bb(4, draw));
+    if (plan.corrupt_rpc(0, draw)) ++corrupted;
+  }
+  EXPECT_GT(corrupted, 1000 * 0.25 / 2);
+  EXPECT_LT(corrupted, 1000 * 0.25 * 2);
+  EXPECT_EQ(plan.corrupt_site(1, 2), same.corrupt_site(1, 2));
 }
 
 TEST(FaultPlan, ParseRejectsMalformedSpecs) {

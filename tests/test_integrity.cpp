@@ -1,0 +1,524 @@
+// End-to-end data integrity: the checksum pipeline, scrub-and-repair, and
+// collective error agreement.
+//
+// Layers under test:
+//  - crc32c itself (known vectors, incremental chaining).
+//  - IntegrityManager in isolation: block registration, store verification
+//    at Detect vs Repair, partial-overwrite record splitting, buffer
+//    healing, and the pending-error word the collective agreement reduces.
+//  - The planted-bug contrast that gates this feature: an injected silent
+//    corruption must change the stored bytes when checksums are off, and
+//    must never survive when integrity=repair is on.
+//  - Retry exhaustion: with every retransmit corrupted, recovery runs out
+//    deterministically and every rank of the communicator throws the
+//    identical CollectiveIoError carrying the failing extent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/parcoll.hpp"
+#include "fault/fault.hpp"
+#include "fs/integrity.hpp"
+#include "fs/object_store.hpp"
+#include "mpi/collectives.hpp"
+#include "mpiio/file.hpp"
+#include "workloads/pattern.hpp"
+
+namespace parcoll {
+namespace {
+
+constexpr std::uint64_t kSalt = 0xC4;
+
+std::vector<std::byte> bytes_of(const std::string& text) {
+  std::vector<std::byte> out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+std::vector<std::byte> pattern_bytes(std::size_t n, unsigned salt = 1) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((i * 131 + salt) & 0xFF);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32c, MatchesKnownVectors) {
+  // The iSCSI / RFC 3720 check value.
+  const auto check = bytes_of("123456789");
+  EXPECT_EQ(fs::crc32c(check.data(), check.size()), 0xE3069283u);
+  EXPECT_EQ(fs::crc32c(nullptr, 0), 0u);
+  // 32 zero bytes, another standard vector.
+  const std::vector<std::byte> zeros(32, std::byte{0});
+  EXPECT_EQ(fs::crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, ChainsIncrementally) {
+  const auto data = pattern_bytes(1000);
+  const std::uint32_t whole = fs::crc32c(data.data(), data.size());
+  for (const std::size_t split : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{500}, std::size_t{999}}) {
+    const std::uint32_t head = fs::crc32c(data.data(), split);
+    EXPECT_EQ(fs::crc32c(data.data() + split, data.size() - split, head),
+              whole)
+        << "split at " << split;
+  }
+}
+
+TEST(IntegrityLevel, ParsesAndRendersAllLevels) {
+  using fs::IntegrityLevel;
+  EXPECT_EQ(fs::parse_integrity_level("off"), IntegrityLevel::Off);
+  EXPECT_EQ(fs::parse_integrity_level("disable"), IntegrityLevel::Off);
+  EXPECT_EQ(fs::parse_integrity_level("detect"), IntegrityLevel::Detect);
+  EXPECT_EQ(fs::parse_integrity_level("repair"), IntegrityLevel::Repair);
+  EXPECT_EQ(fs::parse_integrity_level("enable"), IntegrityLevel::Repair);
+  EXPECT_THROW(static_cast<void>(fs::parse_integrity_level("paranoid")),
+               std::invalid_argument);
+  for (const auto level : {IntegrityLevel::Off, IntegrityLevel::Detect,
+                           IntegrityLevel::Repair}) {
+    EXPECT_EQ(fs::parse_integrity_level(fs::to_string(level)), level);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IntegrityManager unit tests
+// ---------------------------------------------------------------------------
+
+fs::IntegrityConfig tiny_config(fs::IntegrityLevel level,
+                                std::uint64_t block = 64) {
+  fs::IntegrityConfig config;
+  config.level = level;
+  config.block = block;  // small blocks so a few hundred bytes split
+  return config;
+}
+
+TEST(IntegrityManager, CleanRoundTripDetectsNothing) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Detect),
+                               &faults);
+  fs::MemoryStore store;
+  const auto data = pattern_bytes(300);
+  const fs::Extent extents[] = {{0, 300}};
+  const double cost = manager.register_write(0, 1, extents, data.data());
+  EXPECT_GT(cost, 0.0);
+  store.write(1, 0, data.data(), data.size());
+  manager.mark_landed(1, 0, data.size());  // the store commit reports in
+  manager.verify_ranges(0, 1, extents, store);
+  manager.scrub_all(0, store, /*by_scrubber=*/false);
+  EXPECT_FALSE(manager.has_error());
+  EXPECT_EQ(manager.counters().detected, 0u);
+  // 300 bytes at block=64 -> 5 blocks.
+  EXPECT_EQ(manager.counters().blocks, 5u);
+  EXPECT_EQ(manager.counters().bytes_checksummed, 300u);
+}
+
+TEST(IntegrityManager, DetectRecordsUnrecoverableError) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Detect),
+                               &faults);
+  fs::MemoryStore store;
+  const auto data = pattern_bytes(128);
+  const fs::Extent extents[] = {{0, 128}};
+  manager.register_write(0, 1, extents, data.data());
+  auto tampered = data;
+  tampered[70] ^= std::byte{0x10};  // second block
+  store.write(1, 0, tampered.data(), tampered.size());
+
+  manager.verify_ranges(0, 1, extents, store);
+  EXPECT_TRUE(manager.has_error());
+  EXPECT_EQ(manager.counters().detected, 1u);
+  EXPECT_EQ(manager.counters().repaired, 0u);
+  EXPECT_EQ(manager.counters().errors, 1u);
+  EXPECT_EQ(faults.of(0).corrupt_detected, 1u);
+
+  // The pending word decodes back to the failing extent.
+  const std::uint64_t word = manager.pending_word();
+  ASSERT_NE(word, 0u);
+  const fs::CollectiveIoError error = manager.error_of(word);
+  EXPECT_EQ(error.fs_id, 1);
+  EXPECT_EQ(error.offset, 64u);
+  EXPECT_EQ(error.length, 64u);
+  // The corrupted store byte was left untouched at Detect level.
+  EXPECT_EQ(store.contents(1)[70], tampered[70]);
+}
+
+TEST(IntegrityManager, RepairHealsStoreFromReplica) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Repair),
+                               &faults);
+  fs::MemoryStore store;
+  const auto data = pattern_bytes(128);
+  const fs::Extent extents[] = {{0, 128}};
+  manager.register_write(3, 1, extents, data.data());
+  auto tampered = data;
+  tampered[5] ^= std::byte{0x80};
+  tampered[100] ^= std::byte{0x01};  // both blocks corrupted
+  store.write(1, 0, tampered.data(), tampered.size());
+  manager.mark_landed(1, 0, tampered.size());
+
+  manager.verify_ranges(3, 1, extents, store);
+  EXPECT_FALSE(manager.has_error());
+  EXPECT_EQ(manager.counters().detected, 2u);
+  EXPECT_EQ(manager.counters().repaired, 2u);
+  EXPECT_EQ(faults.of(3).corrupt_repaired, 2u);
+  std::vector<std::byte> back(data.size());
+  store.read(1, 0, back.data(), back.size());
+  EXPECT_EQ(back, data);
+
+  // A scrubber pass over the healed store finds nothing further, and
+  // scrubber-attributed heals are counted separately.
+  manager.scrub_all(3, store, /*by_scrubber=*/true);
+  EXPECT_EQ(manager.counters().scrub_repairs, 0u);
+  const std::byte recorrupted = data[30] ^ std::byte{0x40};
+  store.write(1, 30, &recorrupted, 1);  // re-corrupt one byte
+  manager.scrub_all(3, store, /*by_scrubber=*/true);
+  EXPECT_EQ(manager.counters().scrub_repairs, 1u);
+  store.read(1, 0, back.data(), back.size());
+  EXPECT_EQ(back, data);
+}
+
+TEST(IntegrityManager, PartialOverwriteSplitsRecords) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Repair),
+                               &faults);
+  fs::MemoryStore store;
+  const auto first = pattern_bytes(256, 1);
+  const fs::Extent whole[] = {{0, 256}};
+  manager.register_write(0, 1, whole, first.data());
+  store.write(1, 0, first.data(), first.size());
+  manager.mark_landed(1, 0, first.size());
+
+  // Overwrite an unaligned middle range: the straddled records must be
+  // split so the surviving head/tail still verify and the new range
+  // carries fresh checksums.
+  const auto second = pattern_bytes(100, 2);
+  const fs::Extent middle[] = {{90, 100}};
+  manager.register_write(0, 1, middle, second.data());
+  store.write(1, 90, second.data(), second.size());
+  manager.mark_landed(1, 90, second.size());
+
+  manager.verify_ranges(0, 1, whole, store);
+  manager.scrub_all(0, store, /*by_scrubber=*/false);
+  EXPECT_FALSE(manager.has_error());
+  EXPECT_EQ(manager.counters().detected, 0u);
+
+  // Corruption in each region is still caught after the split.
+  auto expected = first;
+  std::memcpy(expected.data() + 90, second.data(), second.size());
+  for (const std::uint64_t site : {std::uint64_t{10}, std::uint64_t{120},
+                                   std::uint64_t{230}}) {
+    std::byte flipped = expected[site];
+    flipped ^= std::byte{0x40};
+    store.write(1, site, &flipped, 1);
+  }
+  manager.scrub_all(0, store, /*by_scrubber=*/false);
+  EXPECT_EQ(manager.counters().detected, 3u);
+  EXPECT_EQ(manager.counters().repaired, 3u);
+  std::vector<std::byte> back(expected.size());
+  store.read(1, 0, back.data(), back.size());
+  EXPECT_EQ(back, expected);
+}
+
+TEST(IntegrityManager, VerifyBufferHealsInPlace) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Repair),
+                               &faults);
+  const auto data = pattern_bytes(128);
+  const fs::Extent extents[] = {{4096, 128}};
+  manager.register_write(0, 7, extents, data.data());
+
+  auto staged = data;
+  staged[64] ^= std::byte{0x08};
+  manager.verify_buffer(0, 7, extents, staged.data());
+  EXPECT_EQ(staged, data);  // healed in place from the replica
+  EXPECT_EQ(manager.counters().detected, 1u);
+  EXPECT_EQ(manager.counters().repaired, 1u);
+}
+
+TEST(IntegrityManager, PendingWordPicksOneErrorForAgreement) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Detect),
+                               &faults);
+  EXPECT_EQ(manager.pending_word(), 0u);
+  manager.record_error(2, 100, 64);
+  manager.record_error(5, 7, 64);  // higher fs_id dominates the max-encode
+  manager.record_error(5, 3, 64);
+  const std::uint64_t word = manager.pending_word();
+  const fs::CollectiveIoError error = manager.error_of(word);
+  EXPECT_EQ(error.fs_id, 5);
+  EXPECT_EQ(error.offset, 7u);
+  // The word is what allreduce_max reduces: any rank holding a smaller
+  // word decodes the winner identically.
+  EXPECT_EQ(manager.error_of(word).fs_id, error.fs_id);
+  EXPECT_EQ(std::string(error.what()).find("unrecoverable") !=
+                std::string::npos,
+            true);
+}
+
+TEST(IntegrityManager, HarvestReturnsDeltasOnly) {
+  fault::FaultState faults;
+  fs::IntegrityManager manager(tiny_config(fs::IntegrityLevel::Repair),
+                               &faults);
+  const auto data = pattern_bytes(64);
+  const fs::Extent extents[] = {{0, 64}};
+  manager.register_write(0, 1, extents, data.data());
+  const fs::IntegrityCounters first = manager.harvest();
+  EXPECT_EQ(first.blocks, 1u);
+  const fs::IntegrityCounters second = manager.harvest();
+  EXPECT_EQ(second.blocks, 0u);  // nothing new since the last harvest
+  EXPECT_EQ(second.bytes_checksummed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: collective writes under injected silent corruption
+// ---------------------------------------------------------------------------
+
+struct IntegrityRun {
+  bool write_verified = false;
+  bool read_verified = false;
+  bool threw_collective_error = false;
+  std::vector<fs::CollectiveIoError> errors;  // one per throwing rank
+  fault::FaultCounters faults;
+  mpiio::FileStats stats;
+};
+
+/// Serial pattern (rank r owns a contiguous 4 KiB block), one collective
+/// write then one collective read, bytes verified against the store —
+/// under a corruption plan and a chosen integrity level.
+IntegrityRun run_corrupted(int nranks, const fault::FaultPlan& plan,
+                           fs::IntegrityLevel level, int num_osts = 0) {
+  machine::MachineModel model = machine::MachineModel::jaguar(nranks);
+  if (num_osts > 0) {
+    model.storage.num_osts = num_osts;
+    model.storage.default_stripe_count =
+        std::min(model.storage.default_stripe_count, num_osts);
+  }
+  mpi::World world(std::move(model));
+  world.set_fault(plan);
+  mpiio::Hints hints;
+  hints.cb_buffer_size = 1024;
+  hints.integrity.level = level;
+  hints.integrity.block = 512;
+  IntegrityRun result;
+  result.write_verified = true;
+  result.read_verified = true;
+  result.errors.resize(static_cast<std::size_t>(nranks), {0, 0, 0});
+
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "integ.dat", hints);
+    const std::uint64_t bytes = 4096;
+    file.set_view(static_cast<std::uint64_t>(self.rank()) * bytes, 1,
+                  dtype::Datatype::bytes(bytes));
+    const dtype::Datatype memtype = dtype::Datatype::bytes(bytes);
+    const auto extents = file.view().map(0, bytes);
+    std::vector<std::byte> buffer(bytes);
+    workloads::fill_buffer_for_extents(buffer.data(), memtype, 1, extents,
+                                       kSalt);
+    try {
+      core::write_at_all(file, 0, buffer.data(), 1, memtype);
+      mpi::barrier(self, self.comm_world());
+
+      auto* store =
+          dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
+      result.write_verified =
+          result.write_verified && store != nullptr &&
+          workloads::verify_store(*store, file.fs_id(), extents, kSalt);
+
+      std::vector<std::byte> back(bytes);
+      core::read_at_all(file, 0, back.data(), 1, memtype);
+      result.read_verified =
+          result.read_verified &&
+          workloads::check_buffer_for_extents(back.data(), memtype, 1,
+                                              extents, kSalt);
+      mpi::barrier(self, self.comm_world());
+      file.close();  // the close-time sweep harvests the integrity stats
+      if (self.rank() == 0) result.stats = file.stats();
+    } catch (const fs::CollectiveIoError& error) {
+      // Every rank must land here with the identical agreed error; nobody
+      // is left waiting in a collective.
+      result.threw_collective_error = true;
+      result.errors[static_cast<std::size_t>(self.rank())] = error;
+    }
+  });
+  result.faults = world.fault_state().total();
+  return result;
+}
+
+/// The planted-bug contrast: the identical corruption plan silently
+/// corrupts the file with checksums off and never survives at repair.
+TEST(IntegrityEndToEnd, CorruptionSlipsThroughOffAndNeverThroughRepair) {
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed=21;rpc-corrupt=0.5;timeout=0.002;backoff=0.001:0.004;"
+      "max-retries=16");
+
+  const IntegrityRun off = run_corrupted(8, plan, fs::IntegrityLevel::Off);
+  EXPECT_FALSE(off.threw_collective_error);
+  EXPECT_GT(off.faults.corrupt_injected, 0u);
+  EXPECT_EQ(off.faults.corrupt_detected, 0u);  // nobody was looking
+  EXPECT_FALSE(off.write_verified);  // the silent corruption landed
+
+  const IntegrityRun repair =
+      run_corrupted(8, plan, fs::IntegrityLevel::Repair);
+  EXPECT_FALSE(repair.threw_collective_error);
+  EXPECT_GT(repair.faults.corrupt_injected, 0u);
+  EXPECT_GT(repair.faults.corrupt_detected, 0u);
+  EXPECT_TRUE(repair.write_verified);  // every flip was caught and healed
+  EXPECT_TRUE(repair.read_verified);
+  // The file's close-time summary carries the pipeline's work.
+  EXPECT_GT(repair.stats.integrity_blocks, 0u);
+  EXPECT_GT(repair.stats.corrupt_detected, 0u);
+  EXPECT_EQ(repair.stats.integrity_errors, 0u);
+}
+
+TEST(IntegrityEndToEnd, BbCorruptionIsHealedBeforeDrain) {
+  const fault::FaultPlan plan =
+      fault::FaultPlan::parse("seed=23;bb-corrupt=0.5");
+  mpi::World world(machine::MachineModel::jaguar(8));
+  world.set_fault(plan);
+  mpiio::Hints hints;
+  hints.cb_buffer_size = 1024;
+  hints.integrity.level = fs::IntegrityLevel::Repair;
+  hints.integrity.block = 512;
+  hints.bb.enabled = true;
+  bool verified = false;
+  fault::FaultCounters faults;
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "bb.dat", hints);
+    const std::uint64_t bytes = 4096;
+    file.set_view(static_cast<std::uint64_t>(self.rank()) * bytes, 1,
+                  dtype::Datatype::bytes(bytes));
+    const dtype::Datatype memtype = dtype::Datatype::bytes(bytes);
+    const auto extents = file.view().map(0, bytes);
+    std::vector<std::byte> buffer(bytes);
+    workloads::fill_buffer_for_extents(buffer.data(), memtype, 1, extents,
+                                       kSalt);
+    core::write_at_all(file, 0, buffer.data(), 1, memtype);
+    file.close();  // drains everything durably
+    if (self.rank() == 0) {
+      auto* store =
+          dynamic_cast<fs::MemoryStore*>(&self.world().fs().store());
+      fs::Extent all{0, static_cast<std::uint64_t>(8) * bytes};
+      verified = store != nullptr &&
+                 workloads::verify_store(*store, file.fs_id(), {&all, 1},
+                                         kSalt);
+    }
+  });
+  faults = world.fault_state().total();
+  EXPECT_GT(faults.corrupt_injected, 0u);
+  EXPECT_GT(faults.corrupt_repaired, 0u);
+  EXPECT_TRUE(verified);
+}
+
+// ---------------------------------------------------------------------------
+// Retry exhaustion and collective error agreement
+// ---------------------------------------------------------------------------
+
+/// Every retransmit corrupted: recovery must exhaust deterministically and
+/// every rank throws the identical agreed error carrying a failing extent.
+TEST(IntegrityAgreement, ExhaustedRecoveryThrowsIdenticallyOnAllRanks) {
+  const int nranks = 8;
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed=25;rpc-corrupt=1.0;timeout=0.002;backoff=0.001:0.004;"
+      "max-retries=2");
+  const IntegrityRun run =
+      run_corrupted(nranks, plan, fs::IntegrityLevel::Detect);
+  EXPECT_TRUE(run.threw_collective_error);
+  EXPECT_GT(run.faults.corrupt_injected, 0u);
+  EXPECT_GT(run.faults.retries, 0u);
+  const fs::CollectiveIoError& agreed = run.errors[0];
+  EXPECT_GT(agreed.length, 0u);
+  for (int r = 0; r < nranks; ++r) {
+    EXPECT_EQ(run.errors[static_cast<std::size_t>(r)].fs_id, agreed.fs_id)
+        << "rank " << r;
+    EXPECT_EQ(run.errors[static_cast<std::size_t>(r)].offset, agreed.offset)
+        << "rank " << r;
+    EXPECT_EQ(run.errors[static_cast<std::size_t>(r)].length, agreed.length)
+        << "rank " << r;
+  }
+}
+
+TEST(IntegrityAgreement, ZeroRetriesExhaustImmediately) {
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed=27;rpc-corrupt=1.0;timeout=0.002;backoff=0.001:0.004;"
+      "max-retries=0");
+  const IntegrityRun run =
+      run_corrupted(8, plan, fs::IntegrityLevel::Detect);
+  EXPECT_TRUE(run.threw_collective_error);
+  // No retransmit budget: the first corrupt landing is final, so nothing
+  // was ever resent.
+  EXPECT_EQ(run.faults.retries, 0u);
+  EXPECT_GT(run.faults.corrupt_detected, 0u);
+}
+
+TEST(IntegrityAgreement, BackoffCapSaturatesDuringRetransmits) {
+  // backoff base == cap: every retransmit waits exactly timeout + cap, so
+  // the faulted seconds are an exact multiple and the cap demonstrably
+  // bounds the wait. Repair level: with fresh randomness per retransmit
+  // (corrupt probability 0.5) the run still completes with clean bytes.
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed=29;rpc-corrupt=0.5;timeout=0.002;backoff=0.003:0.003;"
+      "max-retries=24");
+  const IntegrityRun run =
+      run_corrupted(8, plan, fs::IntegrityLevel::Repair);
+  EXPECT_FALSE(run.threw_collective_error);
+  EXPECT_TRUE(run.write_verified);
+  ASSERT_GT(run.faults.retries, 0u);
+  const double per_wait = 0.002 + 0.003;
+  const double waits = run.faults.faulted_seconds / per_wait;
+  EXPECT_NEAR(waits, std::round(waits), 1e-6)
+      << "faulted time is not a whole number of capped waits";
+}
+
+TEST(IntegrityAgreement, AllOstsDownStillRecoversAfterTheWindow) {
+  // Every OST dark for a finite window while payloads also corrupt on the
+  // wire: failover has nowhere to land until the window passes, then the
+  // retransmit pipeline cleans everything up. The run must complete with
+  // the clean bytes — integrity only ever surfaces *unrecoverable* loss.
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "seed=31;ost-outage=0:0:0.05;ost-outage=1:0:0.05;ost-outage=2:0:0.05;"
+      "ost-outage=3:0:0.05;rpc-corrupt=0.25;timeout=0.002;"
+      "backoff=0.001:0.004;max-retries=2");
+  const IntegrityRun run =
+      run_corrupted(8, plan, fs::IntegrityLevel::Repair, /*num_osts=*/4);
+  EXPECT_FALSE(run.threw_collective_error);
+  EXPECT_TRUE(run.write_verified);
+  EXPECT_TRUE(run.read_verified);
+  EXPECT_GT(run.faults.failovers, 0u);
+  EXPECT_GT(run.faults.corrupt_injected, 0u);
+}
+
+/// Off-level runs are bit-identical to the pre-integrity path: no manager
+/// is constructed and the time breakdown has no Integrity seconds.
+TEST(IntegrityEndToEnd, DisabledLevelInstallsNothing) {
+  mpi::World world(machine::MachineModel::jaguar(4));
+  mpiio::Hints hints;  // integrity defaults to Off
+  world.run([&](mpi::Rank& self) {
+    mpiio::FileHandle file(self, self.comm_world(), "plain.dat", hints);
+    EXPECT_EQ(self.world().integrity(), nullptr);
+    const std::uint64_t bytes = 1024;
+    file.set_view(static_cast<std::uint64_t>(self.rank()) * bytes, 1,
+                  dtype::Datatype::bytes(bytes));
+    std::vector<std::byte> buffer(bytes, std::byte{0x5A});
+    core::write_at_all(file, 0, buffer.data(), 1,
+                       dtype::Datatype::bytes(bytes));
+    file.close();
+  });
+  EXPECT_EQ(world.integrity(), nullptr);
+  for (const mpi::TimeBreakdown& breakdown : world.rank_times()) {
+    EXPECT_DOUBLE_EQ(
+        breakdown.seconds[static_cast<std::size_t>(mpi::TimeCat::Integrity)],
+        0.0);
+  }
+}
+
+}  // namespace
+}  // namespace parcoll

@@ -61,6 +61,8 @@ JsonValue fold_bench(const JsonValue& doc) {
             "sync_fraction",
             // burst-buffer rows: write-behind trend signal.
             "durable_elapsed_s", "drain_s", "drain_wait_s", "bb_spills",
+            // integrity rows: corruption-handling trend signal.
+            "detected", "repaired", "scrub_repairs", "checksum_overhead_pct",
             // parcoll_check rows: checker throughput and coverage.
             "schedules", "distinct_schedules", "invariant_checks",
             "schedules_per_s", "violations"}) {

@@ -54,7 +54,9 @@ void usage(const char* argv0) {
       "  --schedule TOKEN        replay one schedule on --config and print\n"
       "                          its outcome (p, r<seed>, d<c0>.<c1>...)\n"
       "  --inject-bug KIND       run the self-test probe program with a\n"
-      "                          deliberate bug: mismatch|deadlock|none\n"
+      "                          deliberate bug: mismatch|deadlock|none;\n"
+      "                          'corruption' runs the checksum-pipeline\n"
+      "                          planted-bug contrast instead\n"
       "  --expect-violation      exit 0 only if exploration finds the bug\n"
       "  --json FILE.json        write a parcoll-run document with one\n"
       "                          point per configuration\n",
@@ -82,6 +84,15 @@ int report_outcome(const std::string& what, const ScheduleOutcome& outcome) {
         static_cast<unsigned long long>(outcome.faults.drops),
         static_cast<unsigned long long>(outcome.faults.reelections),
         static_cast<unsigned long long>(outcome.faults.stalls));
+    if (outcome.faults.corrupt_injected > 0) {
+      std::printf(
+          "  corruption: injected=%llu detected=%llu repaired=%llu "
+          "scrub_repairs=%llu\n",
+          static_cast<unsigned long long>(outcome.faults.corrupt_injected),
+          static_cast<unsigned long long>(outcome.faults.corrupt_detected),
+          static_cast<unsigned long long>(outcome.faults.corrupt_repaired),
+          static_cast<unsigned long long>(outcome.faults.scrub_repairs));
+    }
   }
   std::printf("  invariant checks: %llu\n",
               static_cast<unsigned long long>(outcome.invariant_checks));
@@ -177,6 +188,29 @@ int main(int argc, char** argv) {
   }
 
   // --- Self-test: deliberately buggy probe program ---------------------
+  if (inject_bug == "corruption") {
+    // Planted-bug contrast for the checksum pipeline: the same corrupting
+    // fault plan must slip through silently with integrity off (digest
+    // diverges from the clean reference) and heal completely at
+    // integrity=repair (digest matches). Both halves are expectations, so
+    // the exit status is the same with or without --expect-violation.
+    const ExploreStats stats = check::corruption_selftest();
+    std::printf("inject-bug corruption: %llu runs, %llu expectation %s\n",
+                static_cast<unsigned long long>(stats.schedules),
+                static_cast<unsigned long long>(stats.violations.size()),
+                stats.violations.size() == 1 ? "failure" : "failures");
+    for (const check::ExploreViolation& violation : stats.violations) {
+      std::printf("  FAILED [%s] %s (schedule %s)\n",
+                  violation.invariant.c_str(), violation.detail.c_str(),
+                  violation.token.c_str());
+    }
+    if (stats.ok()) {
+      std::printf(
+          "  checksums off let the corruption through; integrity=repair "
+          "restored the clean bytes\n");
+    }
+    return stats.ok() ? 0 : 1;
+  }
   if (!inject_bug.empty()) {
     InjectedBug bug;
     if (inject_bug == "mismatch") {
@@ -186,7 +220,8 @@ int main(int argc, char** argv) {
     } else if (inject_bug == "none") {
       bug = InjectedBug::None;
     } else {
-      std::fprintf(stderr, "bad --inject-bug (mismatch|deadlock|none): %s\n",
+      std::fprintf(stderr,
+                   "bad --inject-bug (mismatch|deadlock|corruption|none): %s\n",
                    inject_bug.c_str());
       return 2;
     }

@@ -62,6 +62,12 @@ void usage(const char* argv0) {
       "  --bb-capacity BYTES     staging capacity per node (default 256 MiB)\n"
       "  --bb-drain POLICY       write-behind policy: immediate|watermark|\n"
       "                          deadline|arbitrate (default immediate)\n"
+      "  --integrity LEVEL       end-to-end checksum pipeline: off|detect|\n"
+      "                          repair (default off; repair heals detected\n"
+      "                          corruption from the retained replica)\n"
+      "  --integrity-block BYTES checksum block granularity (default 64 KiB)\n"
+      "  --no-scrub              disable the background scrubber that walks\n"
+      "                          the store after latent media corruption\n"
       "  --read                  measure collective read instead of write\n"
       "  --steps N               BT-IO time steps (default 3)\n"
       "  --nvars N               Flash variables (default 24)\n"
@@ -90,8 +96,9 @@ void usage(const char* argv0) {
       "                          (keys: seed, ost-outage=OST:BEGIN:END,\n"
       "                           ost-degrade=OST:BEGIN:END:FACTOR,\n"
       "                           rank-stall=RANK:AT:DURATION, rpc-drop=P,\n"
-      "                           rpc-delay=PROB:SECONDS, timeout=T,\n"
-      "                           backoff=BASE:MAX, max-retries=N,\n"
+      "                           rpc-delay=PROB:SECONDS, rpc-corrupt=P,\n"
+      "                           bb-corrupt=P, media-corrupt=OST:AT,\n"
+      "                           timeout=T, backoff=BASE:MAX, max-retries=N,\n"
       "                           agg-stall-threshold=T)\n",
       argv0);
 }
@@ -191,6 +198,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", error.what());
         return 2;
       }
+    } else if (arg == "--integrity") {
+      try {
+        spec.integrity.level = fs::parse_integrity_level(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+    } else if (arg == "--integrity-block") {
+      spec.integrity.block = std::stoull(next());
+    } else if (arg == "--no-scrub") {
+      spec.integrity.scrub = false;
     } else if (arg == "--read") {
       write = false;
     } else if (arg == "--steps") {
@@ -359,6 +377,25 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.faults.reelections),
         static_cast<unsigned long long>(result.faults.stalls),
         result.faults.faulted_seconds);
+    if (result.faults.corrupt_injected > 0) {
+      std::printf(
+          "corruption: injected=%llu detected=%llu repaired=%llu "
+          "scrub_repairs=%llu\n",
+          static_cast<unsigned long long>(result.faults.corrupt_injected),
+          static_cast<unsigned long long>(result.faults.corrupt_detected),
+          static_cast<unsigned long long>(result.faults.corrupt_repaired),
+          static_cast<unsigned long long>(result.faults.scrub_repairs));
+    }
+  }
+  if (spec.integrity.enabled()) {
+    std::printf(
+        "integrity : %s, %llu blocks (%.1f MiB checksummed), %.4fs overhead, "
+        "errors=%llu\n",
+        fs::to_string(spec.integrity.level),
+        static_cast<unsigned long long>(result.stats.integrity_blocks),
+        static_cast<double>(result.stats.integrity_bytes) / (1 << 20),
+        result.sum[mpi::TimeCat::Integrity],
+        static_cast<unsigned long long>(result.stats.integrity_errors));
   }
   std::printf("%s\n", result.stats.summary(workload).c_str());
   if (result.trace) {
