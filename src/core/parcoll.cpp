@@ -30,15 +30,15 @@ namespace {
 /// would silently disagree on boundaries/rosters (the failure PARCOACH-style
 /// checking exists to catch).
 std::uint64_t plan_hash(const SubgroupPlan& plan) {
-  std::uint64_t h = static_cast<std::uint64_t>(plan.fa.mode);
-  h = sim::hash_combine(h, static_cast<std::uint64_t>(plan.fa.num_groups));
-  for (int group : plan.fa.group_of_rank) {
+  std::uint64_t h = static_cast<std::uint64_t>(plan.fa().mode);
+  h = sim::hash_combine(h, static_cast<std::uint64_t>(plan.fa().num_groups));
+  for (int group : plan.fa().group_of_rank) {
     h = sim::hash_combine(h, static_cast<std::uint64_t>(group));
   }
-  for (const auto& [lo, hi] : plan.fa.areas) {
+  for (const auto& [lo, hi] : plan.fa().areas) {
     h = sim::hash_combine(sim::hash_combine(h, lo), hi);
   }
-  for (const auto& aggs : plan.aggs_per_group) {
+  for (const auto& aggs : plan.aggs_per_group()) {
     h = sim::hash_combine(h, aggs.size());
     for (int agg : aggs) {
       h = sim::hash_combine(h, static_cast<std::uint64_t>(agg));
@@ -218,19 +218,20 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     const machine::Topology& topo = self.world().model().topology;
     const auto accesses =
         node::two_level_active(hints.cb_intranode, topo, comm)
-            ? node::hier_allgather(
-                  self,
-                  node::make_node_comm(self, comm, topo,
-                                       hints.cb_intranode_leader),
-                  access_of(prep))
-            : mpi::allgather(self, comm, access_of(prep));
+            ? std::make_shared<const std::vector<RankAccess>>(
+                  node::hier_allgather(
+                      self,
+                      node::make_node_comm(self, comm, topo,
+                                           hints.cb_intranode_leader),
+                      access_of(prep)))
+            : mpi::allgather_shared(self, comm, access_of(prep));
     auto fresh = std::make_shared<PlanCache>();
     fresh->plan = form_subgroups(self, comm, accesses, hints);
-    if (fresh->plan.fa.mode == PartitionMode::Direct) {
+    if (fresh->plan.fa().mode == PartitionMode::Direct) {
       // Establishing-call invariant: my extents lie in my File Area (the
       // partition was built from clean split points).
       const auto [fa_lo, fa_hi] =
-          fresh->plan.fa
+          fresh->plan.fa()
               .areas[static_cast<std::size_t>(fresh->plan.my_group)];
       if (!prep.extents.empty() &&
           (prep.extents.front().offset < fa_lo ||
@@ -248,8 +249,8 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     }
   }
   const SubgroupPlan& plan = cache->plan;
-  outcome.mode = plan.fa.mode;
-  outcome.num_groups = plan.fa.num_groups;
+  outcome.mode = plan.fa().mode;
+  outcome.num_groups = plan.fa().num_groups;
   options.aggregators = plan.sub_aggregators;
   // Everything from here runs subgroup-local; the span labels descendants
   // (re-election, exchange cycles, I/O) with this rank's subgroup.
@@ -301,7 +302,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     }
   }
 
-  if (plan.fa.mode == PartitionMode::SingleGroup) {
+  if (plan.fa().mode == PartitionMode::SingleGroup) {
     bb::BbTarget target(fs, fs_id, bb_store.get());
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, comm, hints, target, request, options, is_write,
@@ -310,7 +311,7 @@ CollectiveOutcome run_collective_engine(mpi::Rank& self, const mpi::Comm& comm,
     return outcome;
   }
 
-  if (plan.fa.mode == PartitionMode::Direct) {
+  if (plan.fa().mode == PartitionMode::Direct) {
     bb::BbTarget target(fs, fs_id, bb_store.get());
     const mpiio::CollRequest request{prep.extents, prep.data()};
     run_two_phase(self, plan.subcomm, hints, target, request, options,
@@ -514,12 +515,12 @@ ParcollDecision plan_decision(mpiio::FileHandle& file, std::uint64_t offset,
   const mpi::Comm& comm = file.comm();
   mpiio::PreparedRequest prep =
       file.prepare_read(offset, nullptr, count, memtype);
-  const auto accesses = mpi::allgather(self, comm, access_of(prep));
+  const auto accesses = mpi::allgather_shared(self, comm, access_of(prep));
   const SubgroupPlan plan = form_subgroups(self, comm, accesses, file.hints());
   ParcollDecision decision;
-  decision.mode = plan.fa.mode;
-  decision.num_groups = plan.fa.num_groups;
-  decision.aggregators_per_group = plan.aggs_per_group;
+  decision.mode = plan.fa().mode;
+  decision.num_groups = plan.fa().num_groups;
+  decision.aggregators_per_group = plan.aggs_per_group();
   return decision;
 }
 

@@ -2,6 +2,7 @@
 // distribution, bundled for one collective call.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/config.hpp"
@@ -12,24 +13,40 @@
 
 namespace parcoll::core {
 
-struct SubgroupPlan {
+/// The comm-global part of a subgroup plan — identical on every member of
+/// the establishing collective, so every member shares one immutable copy
+/// instead of holding its own P-sized vectors (quadratic on wide comms).
+struct SharedGroupInfo {
   FileAreaPlan fa;
+  /// Aggregators of every group, as parent-comm-local ranks.
+  std::vector<std::vector<int>> aggs_per_group;
+};
+
+struct SubgroupPlan {
+  /// Comm-global plan parts, one copy shared by all members.
+  std::shared_ptr<const SharedGroupInfo> global;
   /// This rank's subgroup communicator (== the parent comm when the plan
   /// degenerates to a single group).
   mpi::Comm subcomm;
   int my_group = 0;
   /// Aggregators of my subgroup, as subcomm-local ranks (sorted).
   std::vector<int> sub_aggregators;
-  /// Aggregators of every group, as parent-comm-local ranks.
-  std::vector<std::vector<int>> aggs_per_group;
+
+  [[nodiscard]] const FileAreaPlan& fa() const { return global->fa; }
+  [[nodiscard]] const std::vector<std::vector<int>>& aggs_per_group() const {
+    return global->aggs_per_group;
+  }
 };
 
 /// Form subgroups for a collective call. Collective over `comm`: every
 /// member must call with the same `accesses` (the allgathered per-rank
-/// access summaries) and hints, and all of them compute identical plans.
-SubgroupPlan form_subgroups(mpi::Rank& self, const mpi::Comm& comm,
-                            const std::vector<RankAccess>& accesses,
-                            const mpiio::Hints& hints);
+/// access summaries, typically the shared view from allgather_shared) and
+/// hints; they all receive the identical plan, with the comm-global parts
+/// computed once and shared.
+SubgroupPlan form_subgroups(
+    mpi::Rank& self, const mpi::Comm& comm,
+    const std::shared_ptr<const std::vector<RankAccess>>& accesses,
+    const mpiio::Hints& hints);
 
 /// Degraded-mode aggregator re-election: replace every aggregator whose
 /// remaining scheduled stall at `agreed_now` exceeds

@@ -167,6 +167,37 @@ std::shared_ptr<const CollContribs> CollEngine::exchange(
   return result;
 }
 
+std::shared_ptr<const void> CollEngine::shared_fetch(
+    Rank& self, const Comm& comm,
+    const std::function<std::shared_ptr<const void>()>& build) {
+  if (comm.local_rank(self.rank()) < 0) {
+    throw std::logic_error("shared_fetch: caller is not in the communicator");
+  }
+  const std::uint64_t seq = self.next_coll_seq(comm.context_id());
+  const OpKey key{comm.context_id(), seq};
+  auto it = shared_vals_.find(key);
+  if (it == shared_vals_.end()) {
+    SharedVal val;
+    val.value = build();
+    val.expected = comm.size();
+    it = shared_vals_.emplace(key, std::move(val)).first;
+  }
+  auto result = it->second.value;
+  if (++it->second.fetched == it->second.expected) {
+    shared_vals_.erase(it);
+  }
+  return result;
+}
+
+const Comm* CollEngine::cached_split(std::uint64_t ctx) const {
+  const auto it = split_cache_.find(ctx);
+  return it == split_cache_.end() ? nullptr : &it->second;
+}
+
+void CollEngine::cache_split(const Comm& comm) {
+  split_cache_.emplace(comm.context_id(), comm);
+}
+
 void barrier(Rank& self, const Comm& comm) {
   coll_run(self, comm, CollKind::Barrier, {});
 }
@@ -195,6 +226,12 @@ int coll_local_rank(Rank& self, const Comm& comm) {
   return local;
 }
 
+std::shared_ptr<const void> coll_shared_fetch(
+    Rank& self, const Comm& comm,
+    const std::function<std::shared_ptr<const void>()>& build) {
+  return self.world().colls().shared_fetch(self, comm, build);
+}
+
 std::uint64_t sendrecv(Rank& self, const Comm& comm, int dst, int send_tag,
                        const void* send_data, std::uint64_t send_bytes,
                        int src, int recv_tag, void* recv_buffer,
@@ -220,25 +257,43 @@ Comm comm_split(Rank& self, const Comm& comm, int color, int key) {
   // the sequence number above is reserved for context derivation; the
   // allgather below consumes the next one, which is fine because all ranks
   // do both in the same order.
-  auto entries = allgather(self, comm, Entry{color, key, self.rank()});
+  auto all = coll_run(self, comm, CollKind::Allgather,
+                      detail::to_bytes(Entry{color, key, self.rank()}));
 
-  std::vector<Entry> mine;
-  for (const Entry& entry : entries) {
-    if (entry.color == color) {
-      mine.push_back(entry);
+  auto& colls = self.world().colls();
+  const std::uint64_t my_ctx =
+      colls.derive_context(comm.context_id(), seq, color);
+  // The first member through builds every color's communicator from the
+  // shared exchange and publishes them by derived context id; everyone
+  // else aliases a published member table. Building per caller would cost
+  // an O(P) scan per rank plus an O(group) private copy per member —
+  // quadratic on wide communicators.
+  if (const Comm* cached = colls.cached_split(my_ctx)) {
+    return *cached;
+  }
+  std::map<int, std::vector<Entry>> by_color;
+  for (const auto& bytes : *all) {
+    const Entry entry = detail::scalar_from<Entry>(bytes);
+    by_color[entry.color].push_back(entry);
+  }
+  Comm mine;
+  for (auto& [group_color, group] : by_color) {
+    std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+      return std::tie(a.key, a.world) < std::tie(b.key, b.world);
+    });
+    std::vector<int> members;
+    members.reserve(group.size());
+    for (const Entry& entry : group) {
+      members.push_back(entry.world);
     }
+    Comm built(colls.derive_context(comm.context_id(), seq, group_color),
+               std::move(members));
+    if (group_color == color) {
+      mine = built;
+    }
+    colls.cache_split(built);
   }
-  std::sort(mine.begin(), mine.end(), [](const Entry& a, const Entry& b) {
-    return std::tie(a.key, a.world) < std::tie(b.key, b.world);
-  });
-  std::vector<int> members;
-  members.reserve(mine.size());
-  for (const Entry& entry : mine) {
-    members.push_back(entry.world);
-  }
-  const std::uint64_t ctx =
-      self.world().colls().derive_context(comm.context_id(), seq, color);
-  return Comm(ctx, std::move(members));
+  return mine;
 }
 
 Comm comm_dup(Rank& self, const Comm& comm) {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <unordered_map>
 #include <vector>
 
 #include "machine/machine_model.hpp"
@@ -70,6 +71,23 @@ class CollEngine {
   std::uint64_t derive_context(std::uint64_t parent_ctx, std::uint64_t seq,
                                int color) const;
 
+  /// Deduplicate an identical-on-every-rank computation: each member of
+  /// `comm` calls (in the same collective order) with a `build` that
+  /// deterministically produces the same value; the first caller runs it
+  /// and every member shares the one immutable result. Nothing is
+  /// exchanged and no time is charged — real ranks each compute this
+  /// locally, the simulator just refuses to hold P copies of it. The
+  /// entry retires once every member has fetched.
+  std::shared_ptr<const void> shared_fetch(
+      Rank& self, const Comm& comm,
+      const std::function<std::shared_ptr<const void>()>& build);
+
+  /// comm_split memo: every same-color member of one split builds an
+  /// identical communicator, so the first member through publishes the
+  /// results by derived context id and the rest alias the member tables.
+  [[nodiscard]] const Comm* cached_split(std::uint64_t ctx) const;
+  void cache_split(const Comm& comm);
+
  private:
   struct Op {
     CollKind kind = CollKind::Barrier;
@@ -83,9 +101,17 @@ class CollEngine {
   };
   using OpKey = std::pair<std::uint64_t, std::uint64_t>;  // (ctx, seq)
 
+  struct SharedVal {
+    std::shared_ptr<const void> value;
+    int fetched = 0;
+    int expected = 0;
+  };
+
   sim::Engine& engine_;
   const machine::NetworkParams& net_;
   std::map<OpKey, Op> ops_;
+  std::map<OpKey, SharedVal> shared_vals_;
+  std::unordered_map<std::uint64_t, Comm> split_cache_;
 };
 
 // --- Typed wrappers -------------------------------------------------------
@@ -220,6 +246,42 @@ std::shared_ptr<const CollContribs> coll_run(Rank& self, const Comm& comm,
                                              CollKind kind,
                                              std::vector<std::byte> contribution);
 int coll_local_rank(Rank& self, const Comm& comm);
+std::shared_ptr<const void> coll_shared_fetch(
+    Rank& self, const Comm& comm,
+    const std::function<std::shared_ptr<const void>()>& build);
+
+/// Typed front end to CollEngine::shared_fetch: every member of `comm`
+/// calls with a `build` that deterministically computes the same T; one
+/// member runs it and all of them receive the same immutable object.
+template <typename T, typename Build>
+std::shared_ptr<const T> shared_once(Rank& self, const Comm& comm,
+                                     Build&& build) {
+  auto erased =
+      coll_shared_fetch(self, comm, [&]() -> std::shared_ptr<const void> {
+        return std::make_shared<const T>(build());
+      });
+  return std::static_pointer_cast<const T>(erased);
+}
+
+/// Like allgather, but every member receives the same shared immutable
+/// vector instead of a private copy. The exchange (and its cost) is
+/// identical to allgather's; only the per-rank materialization is
+/// deduplicated. Use for comm-sized metadata on wide communicators, where
+/// P private copies of a P-entry vector are quadratic.
+template <typename T>
+std::shared_ptr<const std::vector<T>> allgather_shared(Rank& self,
+                                                       const Comm& comm,
+                                                       const T& value) {
+  auto all = coll_run(self, comm, CollKind::Allgather, detail::to_bytes(value));
+  return shared_once<std::vector<T>>(self, comm, [&] {
+    std::vector<T> result;
+    result.reserve(all->size());
+    for (const auto& contribution : *all) {
+      result.push_back(detail::scalar_from<T>(contribution));
+    }
+    return result;
+  });
+}
 
 template <typename T>
 T bcast(Rank& self, const Comm& comm, int root, const T& value) {

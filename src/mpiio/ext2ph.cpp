@@ -81,12 +81,17 @@ struct Plan {
   /// Covered range [st_loc, end_loc) of each aggregator's file domain —
   /// the first/last byte actually requested there (ROMIO's st_loc/end_loc).
   /// Windows walk this range, not the whole domain, so sparse requests do
-  /// not spin through empty cycles.
-  std::vector<CoveredLoc> loc;
+  /// not spin through empty cycles. Identical on every rank, so all of
+  /// them share one copy (a private naggs-sized vector per rank is
+  /// quadratic when every process aggregates on a wide comm).
+  std::shared_ptr<const std::vector<CoveredLoc>> loc_shared;
   std::vector<std::uint64_t> prefix;  // stream prefix of my extents
   // Aggregator side: per source local rank, its extents within my domain.
   std::vector<std::vector<fs::Extent>> others;
 
+  [[nodiscard]] const CoveredLoc& loc(std::size_t a) const {
+    return (*loc_shared)[a];
+  }
   [[nodiscard]] std::uint64_t fd_start(int a) const {
     return std::min(max_end, min_st + static_cast<std::uint64_t>(a) * fd_len);
   }
@@ -129,15 +134,27 @@ Plan make_plan(mpi::Rank& self, const mpi::Comm& comm,
     mine.st = request.extents.front().offset;
     mine.end = request.extents.back().end();
   }
-  const auto ranges = mpi::allgather(self, comm, mine);
-  plan.min_st = std::numeric_limits<std::uint64_t>::max();
-  plan.max_end = 0;
-  for (const RankRange& range : ranges) {
-    if (range.end > range.st) {  // rank actually has data
-      plan.min_st = std::min(plan.min_st, range.st);
-      plan.max_end = std::max(plan.max_end, range.end);
+  // Exchange bytes identical to a plain allgather; the min/max fold over
+  // the P ranges runs once and every rank reads the two shared scalars.
+  const auto all_ranges = mpi::coll_run(self, comm, mpi::CollKind::Allgather,
+                                        mpi::detail::to_bytes(mine));
+  struct FileBounds {
+    std::uint64_t min_st = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_end = 0;
+  };
+  const auto bounds = mpi::shared_once<FileBounds>(self, comm, [&] {
+    FileBounds folded;
+    for (const auto& contribution : *all_ranges) {
+      const RankRange range = mpi::detail::scalar_from<RankRange>(contribution);
+      if (range.end > range.st) {  // rank actually has data
+        folded.min_st = std::min(folded.min_st, range.st);
+        folded.max_end = std::max(folded.max_end, range.end);
+      }
     }
-  }
+    return folded;
+  });
+  plan.min_st = bounds->min_st;
+  plan.max_end = bounds->max_end;
   if (plan.max_end <= plan.min_st) {
     return plan;  // nothing to do anywhere; every rank agrees
   }
@@ -221,12 +238,20 @@ Plan make_plan(mpi::Rank& self, const mpi::Comm& comm,
       my_loc.end = std::max(my_loc.end, list.back().end());
     }
   }
-  const auto locs = mpi::allgather(self, comm, my_loc);
-  plan.loc.reserve(options.aggregators.size());
+  const auto all_locs = mpi::coll_run(self, comm, mpi::CollKind::Allgather,
+                                      mpi::detail::to_bytes(my_loc));
+  plan.loc_shared =
+      mpi::shared_once<std::vector<CoveredLoc>>(self, comm, [&] {
+        std::vector<CoveredLoc> table;
+        table.reserve(options.aggregators.size());
+        for (int agg_rank : options.aggregators) {
+          table.push_back(mpi::detail::scalar_from<CoveredLoc>(
+              (*all_locs)[static_cast<std::size_t>(agg_rank)]));
+        }
+        return table;
+      });
   std::uint64_t max_ntimes = 0;
-  for (int agg_rank : options.aggregators) {
-    const CoveredLoc& loc = locs[static_cast<std::size_t>(agg_rank)];
-    plan.loc.push_back(loc);
+  for (const CoveredLoc& loc : *plan.loc_shared) {
     if (loc.end > loc.st) {
       max_ntimes = std::max(
           max_ntimes,
@@ -392,7 +417,7 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
     std::vector<std::uint32_t> send_sizes(static_cast<std::size_t>(plan.nranks), 0);
     std::vector<std::pair<int, std::vector<Piece>>> cycle_sends;
     for (int a = a_lo; a <= a_hi; ++a) {
-      const CoveredLoc loc = plan.loc[static_cast<std::size_t>(a)];
+      const CoveredLoc loc = plan.loc(static_cast<std::size_t>(a));
       const std::uint64_t loc_lo = loc.st;
       const std::uint64_t loc_hi = loc.end;
       if (loc_lo >= loc_hi) continue;
@@ -453,12 +478,12 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
 
     // File-I/O phase: the aggregator assembles and writes its window.
     if (plan.my_agg_index >= 0 &&
-        plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end >
-            plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st) {
+        plan.loc(static_cast<std::size_t>(plan.my_agg_index)).end >
+            plan.loc(static_cast<std::size_t>(plan.my_agg_index)).st) {
       const std::uint64_t loc_lo =
-          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st;
+          plan.loc(static_cast<std::size_t>(plan.my_agg_index)).st;
       const std::uint64_t loc_hi =
-          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end;
+          plan.loc(static_cast<std::size_t>(plan.my_agg_index)).end;
       const std::uint64_t win_lo = loc_lo + t * options.cb_buffer_size;
       const std::uint64_t win_hi =
           std::min(loc_hi, win_lo + options.cb_buffer_size);
@@ -534,7 +559,7 @@ Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
     std::vector<std::uint32_t> want_sizes(static_cast<std::size_t>(plan.nranks), 0);
     std::vector<std::pair<int, std::vector<Piece>>> cycle_wants;
     for (int a = a_lo; a <= a_hi; ++a) {
-      const CoveredLoc loc = plan.loc[static_cast<std::size_t>(a)];
+      const CoveredLoc loc = plan.loc(static_cast<std::size_t>(a));
       const std::uint64_t loc_lo = loc.st;
       const std::uint64_t loc_hi = loc.end;
       if (loc_lo >= loc_hi) continue;
@@ -572,12 +597,12 @@ Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
     // Aggregator: read the window's covered span, slice, and send.
     std::vector<std::vector<std::byte>> reply_buffers;
     if (plan.my_agg_index >= 0 &&
-        plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end >
-            plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st) {
+        plan.loc(static_cast<std::size_t>(plan.my_agg_index)).end >
+            plan.loc(static_cast<std::size_t>(plan.my_agg_index)).st) {
       const std::uint64_t loc_lo =
-          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].st;
+          plan.loc(static_cast<std::size_t>(plan.my_agg_index)).st;
       const std::uint64_t loc_hi =
-          plan.loc[static_cast<std::size_t>(plan.my_agg_index)].end;
+          plan.loc(static_cast<std::size_t>(plan.my_agg_index)).end;
       const std::uint64_t win_lo = loc_lo + t * options.cb_buffer_size;
       const std::uint64_t win_hi =
           std::min(loc_hi, win_lo + options.cb_buffer_size);

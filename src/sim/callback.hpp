@@ -1,0 +1,106 @@
+// Small-buffer callback for engine events.
+//
+// std::function is the wrong shape for the event hot path: it is copyable
+// (so every capture must be copyable), its small-buffer window is
+// implementation-defined and narrow, and a miss costs a heap allocation per
+// posted event. SmallCallback is move-only with a 64-byte inline buffer —
+// sized for the engine's real posting sites (a this-pointer plus a handful
+// of scalars) — and falls back to the heap only for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace parcoll::sim {
+
+class SmallCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback>>>
+  SmallCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(fn));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, kill src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        Fn* from = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        *static_cast<Fn**>(dst) = *static_cast<Fn**>(src);
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace parcoll::sim

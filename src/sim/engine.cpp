@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -7,25 +8,65 @@
 namespace parcoll::sim {
 
 ProcId Engine::spawn(std::function<void()> body, std::size_t stack_bytes) {
+  if (stack_bytes == 0) {
+    stack_bytes = default_stack_bytes_;
+  } else if (stack_bytes < kMinStackBytes) {
+    throw std::invalid_argument(
+        "Engine::spawn: stack of " + std::to_string(stack_bytes) +
+        " bytes is below the " + std::to_string(kMinStackBytes) +
+        "-byte safety floor");
+  }
   const ProcId pid = static_cast<ProcId>(procs_.size());
   Process proc;
-  proc.fiber = std::make_unique<Fiber>(std::move(body), stack_bytes);
+  proc.fiber = std::make_unique<Fiber>(std::move(body), stack_bytes, &stacks_);
+  proc.resume_sp = proc.fiber->saved_sp();
   proc.state = ProcState::Runnable;
   procs_.push_back(std::move(proc));
   ++live_;
+  ++fibers_spawned_;
+  if (live_ > peak_live_) peak_live_ = live_;
   schedule_resume(now_, pid);
   return pid;
 }
 
-void Engine::schedule_resume(double t, ProcId pid) {
-  queue_.push(Event{t, event_seq_++, pid, nullptr});
+void Engine::set_default_stack_bytes(std::size_t bytes) {
+  if (bytes < kMinStackBytes) {
+    throw std::invalid_argument(
+        "Engine::set_default_stack_bytes: " + std::to_string(bytes) +
+        " bytes is below the " + std::to_string(kMinStackBytes) +
+        "-byte safety floor (deep collective call chains overflow smaller "
+        "stacks)");
+  }
+  default_stack_bytes_ = bytes;
 }
 
-void Engine::post(double t, std::function<void()> fn) {
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.events_executed = events_executed_;
+  s.callback_events = callback_events_;
+  s.fibers_spawned = fibers_spawned_;
+  s.peak_live_fibers = peak_live_;
+  s.stacks_allocated = stacks_.allocated();
+  s.stacks_reused = stacks_.reused();
+  s.peak_queue_depth = queue_.counters().peak_depth;
+  s.queue_overflow_pushes = queue_.counters().overflow_pushes;
+  s.queue_retunes = queue_.counters().retunes;
+  s.choice_points = choice_log_.size();
+  s.default_stack_bytes = default_stack_bytes_;
+  s.run_wall_seconds = run_wall_seconds_;
+  return s;
+}
+
+void Engine::schedule_resume(double t, ProcId pid) {
+  queue_.push(QueuedEvent{t, event_seq_++, pid, kNoCallback});
+}
+
+void Engine::post(double t, SmallCallback fn) {
   if (t < now_) {
     throw std::logic_error("Engine::post: time in the past");
   }
-  queue_.push(Event{t, event_seq_++, kNoProc, std::move(fn)});
+  const std::uint32_t slot = callbacks_.put(std::move(fn));
+  queue_.push(QueuedEvent{t, event_seq_++, kNoProc, slot});
 }
 
 void Engine::resume_process(ProcId pid) {
@@ -34,7 +75,7 @@ void Engine::resume_process(ProcId pid) {
   // is heap-allocated and stable.
   Fiber* fiber = nullptr;
   {
-    Process& proc = procs_.at(static_cast<std::size_t>(pid));
+    Process& proc = procs_[static_cast<std::size_t>(pid)];
     if (proc.state == ProcState::Finished) {
       throw std::logic_error("Engine: resuming finished process");
     }
@@ -56,10 +97,19 @@ void Engine::resume_process(ProcId pid) {
   }
   current_ = kNoProc;
   Process& proc = procs_[static_cast<std::size_t>(pid)];
+  proc.resume_sp = fiber->saved_sp();
   if (fiber->finished()) {
+    const bool intact = fiber->stack_intact();
     proc.state = ProcState::Finished;
-    proc.fiber.reset();  // release the stack eagerly
+    proc.fiber.reset();  // returns the stack to the pool (if intact)
     --live_;
+    if (!intact) {
+      std::ostringstream message;
+      message << "Engine: fiber stack overflow detected for pid " << pid
+              << " (stack canary trampled; raise --stack-bytes above "
+              << default_stack_bytes_ << ")";
+      throw std::runtime_error(message.str());
+    }
   }
   // Otherwise the process suspended itself (sleep/suspend set its state).
 }
@@ -71,23 +121,21 @@ void Engine::set_schedule(SchedulePolicy policy) {
   policy_ = std::move(policy);
 }
 
-Engine::Event Engine::pop_next() {
-  Event first = queue_.top();
-  queue_.pop();
+QueuedEvent Engine::pop_next() {
+  QueuedEvent first = queue_.pop();
   if (policy_.kind == TieBreak::Program) {
-    // Historical fast path: (time, seq) heap order is the schedule.
+    // Historical fast path: (time, seq) queue order is the schedule.
     return first;
   }
-  if (queue_.empty() || queue_.top().time != first.time) {
+  if (queue_.empty() || queue_.min_time() != first.time) {
     return first;  // a single candidate is not a choice point
   }
-  // Gather every event tied at the minimal timestamp; heap order leaves
+  // Gather every event tied at the minimal timestamp; queue order leaves
   // them sorted by sequence number, so alternative 0 is program order.
-  std::vector<Event> ties;
-  ties.push_back(std::move(first));
-  while (!queue_.empty() && queue_.top().time == ties.front().time) {
-    ties.push_back(queue_.top());
-    queue_.pop();
+  std::vector<QueuedEvent> ties;
+  ties.push_back(first);
+  while (!queue_.empty() && queue_.min_time() == ties.front().time) {
+    ties.push_back(queue_.pop());
   }
   const auto alternatives = static_cast<std::uint32_t>(ties.size());
   const std::uint32_t chosen =
@@ -96,25 +144,59 @@ Engine::Event Engine::pop_next() {
   if (policy_.record != nullptr) {
     policy_.record->push_back(choice_log_.back());
   }
-  Event next = std::move(ties[chosen]);
+  QueuedEvent next = ties[chosen];
   for (std::uint32_t i = 0; i < alternatives; ++i) {
     if (i != chosen) {
-      queue_.push(std::move(ties[i]));
+      // Re-pushed with its original seq, so its place in the total order
+      // is unchanged.
+      queue_.push(ties[i]);
     }
   }
   return next;
 }
 
 void Engine::run() {
+  const auto wall_start = std::chrono::steady_clock::now();
   while (!queue_.empty()) {
-    Event event = pop_next();
+    const QueuedEvent event = pop_next();
+    if (!queue_.empty()) {
+      // Warm the next fiber's state while this event executes: the switch
+      // path is memory-latency bound on cold fiber stacks at high rank
+      // counts, and the upcoming restore touches exactly these lines.
+      const QueuedEvent next = queue_.peek();
+      if (next.pid >= 0) {
+        const Process& np = procs_[static_cast<std::size_t>(next.pid)];
+        __builtin_prefetch(np.fiber.get());
+        if (np.resume_sp != nullptr) {
+          __builtin_prefetch(np.resume_sp);
+          __builtin_prefetch(static_cast<const char*>(np.resume_sp) + 64);
+        }
+      }
+      // One more ahead, when the serving bucket can say cheaply: by the
+      // time that fiber restores, the deeper prefetch has had two event
+      // bodies of latency to land.
+      if (const int second = queue_.second_pid_hint(); second >= 0) {
+        const Process& sp = procs_[static_cast<std::size_t>(second)];
+        __builtin_prefetch(sp.fiber.get());
+        if (sp.resume_sp != nullptr) {
+          __builtin_prefetch(sp.resume_sp);
+        }
+      }
+    }
     now_ = event.time;
+    ++events_executed_;
     if (event.pid == kNoProc) {
-      event.callback();
+      SmallCallback fn = callbacks_.take(event.cb);
+      ++callback_events_;
+      fn();
     } else {
       resume_process(event.pid);
     }
   }
+  run_wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
   if (live_ > 0) {
     std::ostringstream message;
     message << "simulation deadlock at t=" << now_
@@ -169,7 +251,7 @@ void Engine::wake_at(double t, ProcId pid) {
     throw std::logic_error("Engine::wake_at: process is not suspended");
   }
   proc.state = ProcState::Runnable;
-  proc.block_reason.clear();
+  proc.block_reason = "";
   schedule_resume(t, pid);
 }
 
@@ -179,9 +261,17 @@ void WaitQueue::wait(Engine& engine, const char* why) {
 }
 
 bool WaitQueue::notify_one(Engine& engine) {
-  if (waiters_.empty()) return false;
-  const ProcId pid = waiters_.front();
-  waiters_.erase(waiters_.begin());
+  if (head_ == waiters_.size()) return false;
+  const ProcId pid = waiters_[head_++];
+  if (head_ == waiters_.size()) {
+    waiters_.clear();
+    head_ = 0;
+  } else if (head_ > 64 && head_ * 2 > waiters_.size()) {
+    // Drop the drained prefix so a long-lived queue doesn't grow unbounded.
+    waiters_.erase(waiters_.begin(),
+                   waiters_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
   engine.wake(pid);
   return true;
 }

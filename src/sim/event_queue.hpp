@@ -1,0 +1,145 @@
+// Calendar (bucket) event queue and the event/callback arenas.
+//
+// The engine's old std::priority_queue paid O(log n) comparisons and a
+// 56-byte element move per operation, with every posted callback dragging a
+// std::function through the heap. This queue keeps events as 24-byte PODs
+// in an array of time buckets: push is O(1) amortized (bucket index is one
+// subtract/divide), pop is O(log b) in the *bucket* occupancy b, and
+// callbacks live in a freelist arena of SmallCallback slots so the dominant
+// wake/sleep events carry nothing but {time, seq, pid}.
+//
+// Ordering is exact, not approximate: within the serving bucket events form
+// a binary min-heap on (time, seq), buckets partition time, and far-future
+// events wait in an overflow min-heap until the window slides over them.
+// Every pop therefore returns precisely the (time, seq)-minimal event — the
+// same total order as the old heap — so schedules, digests, and
+// SchedulePolicy choice points are bit-identical by construction. The
+// bucket-width tuning below affects only speed, never order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/callback.hpp"
+
+namespace parcoll::sim {
+
+/// One pending engine event. `pid >= 0` is a process resume; kNoProc (-1)
+/// marks a callback event whose body sits in the CallbackArena at `cb`.
+struct QueuedEvent {
+  double time;
+  std::uint64_t seq;
+  int pid;
+  std::uint32_t cb;
+};
+
+inline constexpr std::uint32_t kNoCallback = 0xffffffffu;
+
+/// Freelist arena for posted callbacks: slots are reused, so steady-state
+/// posting allocates nothing (beyond a capture too big for SmallCallback's
+/// inline buffer).
+class CallbackArena {
+ public:
+  std::uint32_t put(SmallCallback fn) {
+    if (free_.empty()) {
+      slots_.push_back(std::move(fn));
+      return static_cast<std::uint32_t>(slots_.size() - 1);
+    }
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    slots_[slot] = std::move(fn);
+    return slot;
+  }
+
+  /// Move the callback out and recycle its slot.
+  SmallCallback take(std::uint32_t slot) {
+    SmallCallback fn = std::move(slots_[slot]);
+    free_.push_back(slot);
+    return fn;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<SmallCallback> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+/// Perf counters the queue maintains for engine self-instrumentation.
+struct QueueCounters {
+  std::uint64_t peak_depth = 0;
+  std::uint64_t overflow_pushes = 0;
+  std::uint64_t retunes = 0;
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Insert `event` (seq already assigned by the engine; re-pushing a
+  /// popped event — the choice-point path — keeps its original seq, and
+  /// with it its exact place in the total order).
+  void push(const QueuedEvent& event);
+
+  /// Remove and return the (time, seq)-minimal event.
+  QueuedEvent pop();
+
+  /// The (time, seq)-minimal event without removing it (queue must be
+  /// non-empty). The engine uses this to prefetch the next fiber's state
+  /// while the current event executes.
+  [[nodiscard]] QueuedEvent peek();
+
+  /// Best-effort pid of the event after the minimal one, or -1 when it
+  /// is not cheaply known (outside the serving bucket, or a callback).
+  /// Prefetch hint only — never consulted for ordering. Valid right after
+  /// peek()/min_time() (the serving bucket is settled and heaped).
+  [[nodiscard]] int second_pid_hint() const;
+
+  /// Timestamp of the minimal event (queue must be non-empty).
+  [[nodiscard]] double min_time();
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] const QueueCounters& counters() const { return counters_; }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 64;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 17;
+  static constexpr double kMinWidth = 1e-12;
+
+  /// Advance to the non-empty bucket holding the minimal event, sliding
+  /// the window over the overflow tier when the current one is drained.
+  void settle();
+  void place(const QueuedEvent& event);
+  /// Rebuild buckets around `anchor` time with `nbuckets` buckets and a
+  /// width tuned from the observed inter-event gap.
+  void retune(std::size_t nbuckets, double anchor);
+  void overflow_push(const QueuedEvent& event);
+  QueuedEvent overflow_pop();
+
+  // Occupancy bitmap (one bit per bucket) so settle() skips runs of empty
+  // buckets with a ctz scan instead of touching each one.
+  void mark_live(std::size_t idx) { live_[idx >> 6] |= 1ull << (idx & 63); }
+  void mark_dead(std::size_t idx) { live_[idx >> 6] &= ~(1ull << (idx & 63)); }
+  [[nodiscard]] std::size_t next_live(std::size_t from) const;
+
+  std::vector<std::vector<QueuedEvent>> buckets_;
+  std::vector<std::uint64_t> live_;
+  std::vector<QueuedEvent> overflow_;  // min-heap on (time, seq)
+  double width_ = 1e-6;
+  double inv_width_ = 1e6;  // cached 1/width_: place() multiplies, never divides
+  double w0_ = 0.0;         // window start: bucket i covers [w0_+i*w, ...)
+  std::size_t cur_ = 0;     // serving bucket
+  bool cur_heaped_ = false;
+  std::size_t count_ = 0;
+  double last_pop_time_ = 0.0;
+  double avg_gap_ = 0.0;    // EMA of nonzero inter-pop gaps, drives width_
+  QueueCounters counters_;
+};
+
+/// Peak resident set size of the calling process in bytes (VmHWM), 0 when
+/// unavailable. Host-side instrumentation only — never feeds the model.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+}  // namespace parcoll::sim

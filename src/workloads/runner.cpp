@@ -49,6 +49,11 @@ machine::MachineModel RunSpec::model(int nranks) const {
 }
 
 void apply_observability(mpi::World& world, const RunSpec& spec) {
+  if (spec.stack_bytes != 0) {
+    // Before any rank fiber is spawned, so every stack gets the size (and
+    // an invalid knob fails fast instead of mid-run).
+    world.engine().set_default_stack_bytes(spec.stack_bytes);
+  }
   if (spec.trace) {
     world.enable_tracing();
   }
@@ -80,6 +85,7 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
   result.schedule_token = mutable_world.engine().schedule_token();
   result.choice_points = mutable_world.engine().choice_log().size();
   result.file_digest = fs.store().content_digest();
+  result.engine = mutable_world.engine().stats();
   if (mutable_world.tracer() != nullptr) {
     result.trace = std::make_shared<mpi::Tracer>(*mutable_world.tracer());
   }
@@ -106,6 +112,21 @@ obs::JsonValue run_result_json(const RunResult& result) {
   doc.set("schedule", result.schedule_token);
   doc.set("choice_points", result.choice_points);
   doc.set("file_digest", result.file_digest);
+  obs::JsonValue engine = obs::JsonValue::object();
+  engine.set("events_executed", result.engine.events_executed);
+  engine.set("callback_events", result.engine.callback_events);
+  engine.set("events_per_s", result.engine.events_per_second());
+  engine.set("run_wall_s", result.engine.run_wall_seconds);
+  engine.set("fibers_spawned", result.engine.fibers_spawned);
+  engine.set("peak_live_fibers", result.engine.peak_live_fibers);
+  engine.set("stacks_allocated", result.engine.stacks_allocated);
+  engine.set("stacks_reused", result.engine.stacks_reused);
+  engine.set("default_stack_bytes", result.engine.default_stack_bytes);
+  engine.set("peak_queue_depth", result.engine.peak_queue_depth);
+  engine.set("queue_overflow_pushes", result.engine.queue_overflow_pushes);
+  engine.set("queue_retunes", result.engine.queue_retunes);
+  engine.set("peak_rss_bytes", sim::peak_rss_bytes());
+  doc.set("engine", engine);
   doc.set("time", obs::time_breakdown_json(result.sum));
   doc.set("stats", obs::file_stats_json(result.stats));
   doc.set("faults", obs::fault_counters_json(result.faults));

@@ -16,6 +16,7 @@
 #include "mpiio/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "sim/engine.hpp"
 #include "sim/schedule.hpp"
 
 namespace parcoll::check {
@@ -76,6 +77,10 @@ struct RunSpec {
   sim::SchedulePolicy schedule;
   /// Non-owning invariant sink; null (the default) disables all hooks.
   check::InvariantChecker* checker = nullptr;
+  /// Per-rank fiber stack size in bytes; 0 keeps the engine default
+  /// (Engine::kDefaultStackBytes). Values below Engine::kMinStackBytes are
+  /// rejected with std::invalid_argument before any fiber is spawned.
+  std::size_t stack_bytes = 0;
 
   [[nodiscard]] mpiio::Hints hints() const;
   [[nodiscard]] machine::MachineModel model(int nranks) const;
@@ -104,6 +109,9 @@ struct RunResult {
   /// MemoryStore content digest at collect time (0 for phantom stores);
   /// equal digests mean byte-identical file contents across runs.
   std::uint64_t file_digest = 0;
+  /// Engine self-instrumentation (events, throughput, queue and stack-pool
+  /// behavior) snapshotted at collect time.
+  sim::EngineStats engine;
 
   [[nodiscard]] double bandwidth() const {
     return elapsed > 0 ? static_cast<double>(bytes) / elapsed : 0.0;

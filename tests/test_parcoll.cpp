@@ -4,6 +4,7 @@
 // MPI-IO semantics (paper §4).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <tuple>
 
@@ -212,14 +213,16 @@ TEST(Parcoll, SubgroupFormationAssignsSubcommAndAggregators) {
     mpiio::Hints hints;
     hints.parcoll_num_groups = 2;
     hints.parcoll_min_group_size = 2;
-    const auto plan = form_subgroups(self, self.comm_world(), accesses, hints);
+    const auto plan = form_subgroups(
+        self, self.comm_world(),
+        std::make_shared<const std::vector<RankAccess>>(accesses), hints);
     sub_sizes[self.rank()] = plan.subcomm.size();
     my_groups[self.rank()] = plan.my_group;
     EXPECT_FALSE(plan.sub_aggregators.empty());
     // The subgroup communicator contains exactly my group's members.
     for (int local = 0; local < plan.subcomm.size(); ++local) {
       const int world_rank = plan.subcomm.world_rank(local);
-      EXPECT_EQ(plan.fa.group_of_rank[static_cast<std::size_t>(world_rank)],
+      EXPECT_EQ(plan.fa().group_of_rank[static_cast<std::size_t>(world_rank)],
                 plan.my_group);
     }
   });

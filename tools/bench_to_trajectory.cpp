@@ -65,7 +65,11 @@ JsonValue fold_bench(const JsonValue& doc) {
             "detected", "repaired", "scrub_repairs", "checksum_overhead_pct",
             // parcoll_check rows: checker throughput and coverage.
             "schedules", "distinct_schedules", "invariant_checks",
-            "schedules_per_s", "violations"}) {
+            "schedules_per_s", "violations",
+            // micro_engine rows: DES engine scaling trend signal.
+            "events_per_s", "wall_s", "peak_queue_depth",
+            "stacks_allocated", "stacks_reused", "peak_rss_mib",
+            "speedup_vs_seed", "bit_identical"}) {
         const JsonValue* value = point.find(key);
         if (value != nullptr) row.set(key, *value);
       }

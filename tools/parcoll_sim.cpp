@@ -73,6 +73,11 @@ void usage(const char* argv0) {
       "  --nvars N               Flash variables (default 24)\n"
       "  --osts N                storage targets (default 72)\n"
       "  --seed N                jitter seed (default 42)\n"
+      "  --stack-bytes N         per-rank fiber stack size in bytes\n"
+      "                          (default 64 KiB; 256 KiB under sanitizers;\n"
+      "                          minimum 16 KiB)\n"
+      "  --engine-stats          print engine self-instrumentation (events/s,\n"
+      "                          queue depth, stack pool, peak RSS)\n"
       "  --schedule-seed N       explore a seeded-random event tie-break\n"
       "                          schedule instead of program order\n"
       "  --schedule-replay TOK   replay a schedule token (p, r<seed>, or\n"
@@ -120,6 +125,7 @@ int main(int argc, char** argv) {
   bool write = true;
   bool gantt = false;
   bool wall_report = false;
+  bool engine_stats = false;
   std::string trace_path;
   std::string trace_json_path;
   std::string json_path;
@@ -219,6 +225,17 @@ int main(int argc, char** argv) {
       osts = std::stoi(next());
     } else if (arg == "--seed") {
       seed = std::stoull(next());
+    } else if (arg == "--stack-bytes") {
+      spec.stack_bytes = std::stoull(next());
+      if (spec.stack_bytes < sim::Engine::kMinStackBytes) {
+        std::fprintf(stderr,
+                     "--stack-bytes %zu is below the %zu-byte safety floor "
+                     "(deep collective call chains overflow smaller stacks)\n",
+                     spec.stack_bytes, sim::Engine::kMinStackBytes);
+        return 2;
+      }
+    } else if (arg == "--engine-stats") {
+      engine_stats = true;
     } else if (arg == "--schedule-seed") {
       spec.schedule = sim::SchedulePolicy::random(std::stoull(next()));
     } else if (arg == "--schedule-replay") {
@@ -360,6 +377,25 @@ int main(int argc, char** argv) {
   std::printf("fs        : %llu RPCs, %llu lock revocations\n",
               static_cast<unsigned long long>(result.fs_rpcs),
               static_cast<unsigned long long>(result.fs_lock_switches));
+  if (engine_stats) {
+    const sim::EngineStats& es = result.engine;
+    std::printf(
+        "engine    : %llu events (%.0f/s wall), queue peak %llu, "
+        "%llu choice points\n",
+        static_cast<unsigned long long>(es.events_executed),
+        es.events_per_second(),
+        static_cast<unsigned long long>(es.peak_queue_depth),
+        static_cast<unsigned long long>(es.choice_points));
+    std::printf(
+        "fibers    : %llu spawned (peak %llu live), stacks %llu KiB: "
+        "%llu allocated, %llu pooled; peak RSS %.1f MiB\n",
+        static_cast<unsigned long long>(es.fibers_spawned),
+        static_cast<unsigned long long>(es.peak_live_fibers),
+        static_cast<unsigned long long>(es.default_stack_bytes / 1024),
+        static_cast<unsigned long long>(es.stacks_allocated),
+        static_cast<unsigned long long>(es.stacks_reused),
+        static_cast<double>(sim::peak_rss_bytes()) / (1 << 20));
+  }
   if (spec.schedule.kind != sim::TieBreak::Program) {
     std::printf("schedule  : %s (%llu choice points)\n",
                 result.schedule_token.c_str(),

@@ -78,6 +78,7 @@ int main(int argc, char** argv) {
   auto intranode = node::IntranodeMode::Off;
   auto leader = node::LeaderPolicy::Lowest;
   bb::BbConfig bb;
+  std::size_t stack_bytes = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -140,6 +141,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", error.what());
         return 2;
       }
+    } else if (arg == "--stack-bytes") {
+      stack_bytes = std::stoull(next());
+      if (stack_bytes < sim::Engine::kMinStackBytes) {
+        std::fprintf(stderr,
+                     "--stack-bytes %zu is below the %zu-byte safety floor\n",
+                     stack_bytes, sim::Engine::kMinStackBytes);
+        return 2;
+      }
     } else if (arg == "--json") {
       json_path = next();
     } else {
@@ -151,7 +160,7 @@ int main(int argc, char** argv) {
                    "[--no-intranode] [--leader lowest|spread] "
                    "[--bb] [--bb-capacity BYTES] "
                    "[--bb-drain immediate|watermark|deadline|arbitrate] "
-                   "[--json FILE.json]\n",
+                   "[--stack-bytes N] [--json FILE.json]\n",
                    argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
@@ -177,6 +186,7 @@ int main(int argc, char** argv) {
       spec.intranode = intranode;
       spec.intranode_leader = leader;
       spec.bb = bb;
+      spec.stack_bytes = stack_bytes;
       std::string impl;
       if (group_str == "0") {
         spec.impl = Impl::Ext2ph;
