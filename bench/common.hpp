@@ -103,6 +103,20 @@ class BenchReport {
           .set("drain_wait_s", result.sum[mpi::TimeCat::DrainWait])
           .set("bb_spills", result.stats.bb_spills);
     }
+    if (result.metrics) {
+      // Tail-latency trend signal (virtual-time, so deterministic): the
+      // RPC and collective-cycle quantiles, when the run recorded them.
+      const auto& quantiles = result.metrics->quantiles();
+      auto tail = [&](const char* name, const char* p50_key,
+                      const char* p99_key) {
+        const auto it = quantiles.find(name);
+        if (it == quantiles.end() || it->second.count() == 0) return;
+        point.set(p50_key, it->second.quantile(0.50));
+        point.set(p99_key, it->second.quantile(0.99));
+      };
+      tail("fs.rpc.latency_s", "rpc_p50_s", "rpc_p99_s");
+      tail("coll.cycle_s", "cycle_p50_s", "cycle_p99_s");
+    }
     for (const auto& extra : extras) {
       point.set(extra.first, extra.second);
     }
@@ -129,10 +143,15 @@ class BenchReport {
   obs::JsonValue points_;
 };
 
+// The standard specs run with metrics on: observers never advance the
+// virtual clock, so the figures are unchanged, and every bench point gets
+// the tail-latency quantiles (rpc_p50_s/rpc_p99_s/...) for the trajectory.
+
 inline workloads::RunSpec baseline_spec() {
   workloads::RunSpec spec;
   spec.impl = workloads::Impl::Ext2ph;
   spec.byte_true = false;
+  spec.metrics = true;
   return spec;
 }
 
@@ -142,6 +161,7 @@ inline workloads::RunSpec parcoll_spec(int groups, int min_group_size = 8) {
   spec.parcoll_groups = groups;
   spec.min_group_size = min_group_size;
   spec.byte_true = false;
+  spec.metrics = true;
   return spec;
 }
 
@@ -149,6 +169,7 @@ inline workloads::RunSpec posix_spec() {
   workloads::RunSpec spec;
   spec.impl = workloads::Impl::PosixIndependent;
   spec.byte_true = false;
+  spec.metrics = true;
   return spec;
 }
 

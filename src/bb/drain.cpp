@@ -178,8 +178,7 @@ void DrainScheduler::write_segment(int node) {
     metrics->counter("bb.drain.retries") += after.retries - before.retries;
     metrics->counter("bb.drain.failovers") +=
         after.failovers - before.failovers;
-    metrics->histogram("bb.drain_seconds", obs::latency_bounds_s())
-        .observe(end - begin);
+    metrics->quantile("bb.drain_seconds").observe(end - begin);
   }
 
   arena.used -= seg.bytes;

@@ -3,6 +3,7 @@
 #include "bb/drain.hpp"
 #include "mpi/trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace parcoll::bb {
 
@@ -11,9 +12,34 @@ StagingStore::StagingStore(mpi::World& world, int fs_id, BbConfig config)
   arenas_.resize(
       static_cast<std::size_t>(world.model().topology.num_nodes()));
   sched_ = std::make_unique<DrainScheduler>(*this);
+  if (auto* sampler = world.sampler()) {
+    // Per-node occupancy (queued + in-flight bytes) and drain backlog
+    // (bytes still queued behind the drain fiber). The store may outlive
+    // this run's sampling window; the destructor detaches.
+    for (std::size_t n = 0; n < arenas_.size(); ++n) {
+      probe_ids_.push_back(sampler->add_probe(
+          obs::MetricsRegistry::indexed("bb.node.used_bytes", n),
+          [this, n] { return static_cast<double>(arenas_[n].used); }));
+      probe_ids_.push_back(sampler->add_probe(
+          obs::MetricsRegistry::indexed("bb.node.backlog_bytes", n),
+          [this, n] {
+            std::uint64_t queued = 0;
+            for (const StagedSegment& seg : arenas_[n].queue) {
+              queued += seg.bytes;
+            }
+            return static_cast<double>(queued);
+          }));
+    }
+  }
 }
 
-StagingStore::~StagingStore() = default;
+StagingStore::~StagingStore() {
+  if (auto* sampler = world_.sampler()) {
+    for (std::size_t id : probe_ids_) {
+      sampler->remove_probe(id);
+    }
+  }
+}
 
 bool StagingStore::overlaps(std::span<const fs::Extent> a,
                             std::span<const fs::Extent> b) {
@@ -145,6 +171,9 @@ void StagingStore::flush_until_clear(mpi::Rank& self,
   }
   --flush_waiters_;
   self.times().add(mpi::TimeCat::DrainWait, self.now() - start);
+  if (auto* metrics = world_.metrics()) {
+    metrics->quantile("bb.drain_wait_s").observe(self.now() - start);
+  }
 }
 
 void StagingStore::flush_overlapping(mpi::Rank& self,

@@ -158,6 +158,9 @@ class StagingStore {
   /// Per-rank monotone draw counters for the bb decay process (keyed by
   /// the staging rank, so draws are schedule-independent).
   std::vector<std::uint64_t> bb_draws_;
+  /// Sampler probes registered by the constructor (occupancy and drain
+  /// backlog per node); detached in the destructor.
+  std::vector<std::size_t> probe_ids_;
   /// Notified after every completed drain segment; flush waiters recheck.
   sim::WaitQueue drained_;
 };

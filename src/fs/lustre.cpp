@@ -83,6 +83,35 @@ double LustreSim::submit(int client, int file_id,
   };
   std::vector<PendingRpc> pending(static_cast<std::size_t>(params_.num_osts));
 
+  // The job this client's traffic is accounted to ("" / null = untagged).
+  const std::string* job = nullptr;
+  if (jobs_ != nullptr && client >= 0 &&
+      static_cast<std::size_t>(client) < jobs_->size() &&
+      !(*jobs_)[static_cast<std::size_t>(client)].empty()) {
+    job = &(*jobs_)[static_cast<std::size_t>(client)];
+  }
+
+  // Records completion of one served RPC: end-to-end latency from issue to
+  // service completion (including any retry/backoff time the caller
+  // burned), plus the cumulative per-OST service clock the wall report and
+  // sampler read.
+  auto note_served = [&](int ost_index, std::uint64_t bytes, double issue,
+                         double done) {
+    if (metrics_ == nullptr) return;
+    const double latency = done - issue;
+    metrics_->quantile("fs.rpc.latency_s").observe(latency);
+    metrics_->gauge("fs.ost.service_s", static_cast<std::size_t>(ost_index)) =
+        osts_[static_cast<std::size_t>(ost_index)].service_seconds();
+    if (job != nullptr) {
+      metrics_->quantile(obs::MetricsRegistry::job_key("fs.rpc.latency_s",
+                                                       *job))
+          .observe(latency);
+      ++metrics_->counter(obs::MetricsRegistry::job_key("fs.rpcs", *job));
+      metrics_->counter(obs::MetricsRegistry::job_key("fs.bytes", *job)) +=
+          bytes;
+    }
+  };
+
   auto flush = [&](int ost_index) {
     PendingRpc& rpc = pending[static_cast<std::size_t>(ost_index)];
     if (rpc.bytes == 0) return;
@@ -94,20 +123,21 @@ double LustreSim::submit(int client, int file_id,
       const double backlog = std::max(
           0.0, osts_[static_cast<std::size_t>(ost_index)].busy_until() -
                    engine_.now());
-      metrics_->histogram("fs.ost.queue_wait_s", obs::latency_bounds_s())
-          .observe(backlog);
+      metrics_->quantile("fs.ost.queue_wait_s").observe(backlog);
       metrics_->gauge_max("fs.ost.queue_depth_s",
                           static_cast<std::size_t>(ost_index), backlog);
       ++metrics_->counter("fs.ost.rpcs", static_cast<std::size_t>(ost_index));
       metrics_->counter("fs.ost.bytes", static_cast<std::size_t>(ost_index)) +=
           rpc.bytes;
     }
+    const double issue = engine_.now();
     if (fault_plan_ == nullptr) {
       const ServeOutcome outcome =
           osts_[static_cast<std::size_t>(ost_index)].serve(
               engine_.now(), file_id, client, rpc.lock_lo, rpc.lock_hi,
               rpc.bytes, is_write, rpc.fragments);
       last_completion = std::max(last_completion, outcome.done);
+      note_served(ost_index, rpc.bytes, issue, outcome.done);
       rpc = PendingRpc{};
       return;
     }
@@ -130,6 +160,7 @@ double LustreSim::submit(int client, int file_id,
               rpc.bytes, is_write, rpc.fragments, force);
       if (outcome.ok) {
         last_completion = std::max(last_completion, outcome.done);
+        note_served(target, rpc.bytes, issue, outcome.done);
         break;
       }
       const double wait =

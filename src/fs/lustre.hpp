@@ -101,6 +101,18 @@ class LustreSim {
   /// clock and OST backlog but never sleeps, so timing is unchanged.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Attach the per-client job table (null detaches): jobs->at(client) is
+  /// the tenant name of that client id, "" for untagged. The vector is
+  /// owned by the caller (the World) and may grow while attached; it is
+  /// re-read on every RPC. With it attached and metrics on, fs-layer
+  /// traffic is additionally accounted under "...{job=NAME}" slices.
+  void set_jobs(const std::vector<std::string>* jobs) { jobs_ = jobs; }
+
+  [[nodiscard]] int num_osts() const { return params_.num_osts; }
+  /// Mutable access for samplers (inflight_bytes prunes internally).
+  [[nodiscard]] OstModel& ost(std::size_t i) { return osts_[i]; }
+  [[nodiscard]] const OstModel& ost(std::size_t i) const { return osts_[i]; }
+
   [[nodiscard]] std::uint64_t file_size(int file_id) const {
     return store_->size(file_id);
   }
@@ -129,6 +141,7 @@ class LustreSim {
   fault::FaultState* fault_state_ = nullptr;
   IntegrityManager* integrity_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  const std::vector<std::string>* jobs_ = nullptr;
   machine::StorageParams params_;
   StoreMode mode_;
   RangeLockManager range_locks_;

@@ -158,7 +158,25 @@ ServeOutcome OstModel::serve(double ready, int file_id, int client,
   }
   ++request_seq_;
   busy_until_ = start + service;
+  service_seconds_ += service;
+  bytes_served_ += bytes;
+  inflight_.emplace_back(busy_until_, bytes);
+  inflight_sum_ += bytes;
+  // Amortized prune: RPCs complete in FIFO order, so everything done by
+  // `ready` sits at the front.
+  while (!inflight_.empty() && inflight_.front().first <= ready) {
+    inflight_sum_ -= inflight_.front().second;
+    inflight_.pop_front();
+  }
   return {busy_until_, true};
+}
+
+std::uint64_t OstModel::inflight_bytes(double now) {
+  while (!inflight_.empty() && inflight_.front().first <= now) {
+    inflight_sum_ -= inflight_.front().second;
+    inflight_.pop_front();
+  }
+  return inflight_sum_;
 }
 
 }  // namespace parcoll::fs

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <unordered_map>
 
@@ -67,6 +68,13 @@ class OstModel {
   [[nodiscard]] std::uint64_t rpcs_served() const { return request_seq_; }
   [[nodiscard]] std::uint64_t lock_switches() const { return lock_switches_; }
   [[nodiscard]] double busy_until() const { return busy_until_; }
+  /// Total seconds of service time reserved so far (cumulative busy time).
+  [[nodiscard]] double service_seconds() const { return service_seconds_; }
+  [[nodiscard]] std::uint64_t bytes_served() const { return bytes_served_; }
+  /// Payload bytes of accepted RPCs that have not completed by `now`.
+  /// Prunes completed entries, so calls with non-decreasing `now` stay
+  /// amortized O(1).
+  [[nodiscard]] std::uint64_t inflight_bytes(double now);
 
   /// The service-time multiplier in effect at virtual time `at` (>= 1).
   [[nodiscard]] double slowdown(double at) const;
@@ -91,6 +99,11 @@ class OstModel {
   double busy_until_ = 0.0;
   std::uint64_t request_seq_ = 0;
   std::uint64_t lock_switches_ = 0;
+  double service_seconds_ = 0.0;
+  std::uint64_t bytes_served_ = 0;
+  /// (completion time, payload bytes) of accepted RPCs, completion order.
+  std::deque<std::pair<double, std::uint64_t>> inflight_;
+  std::uint64_t inflight_sum_ = 0;
   std::unordered_map<int, GrantMap> grants_by_file_;
   const fault::FaultPlan* fault_plan_ = nullptr;
   fault::FaultState* fault_state_ = nullptr;

@@ -153,11 +153,10 @@ std::shared_ptr<const CollContribs> CollEngine::exchange(
   auto result = ops_.at(key).result;
   Op& done = ops_.at(key);
   if (auto* metrics = self.world().metrics()) {
-    metrics->histogram("mpi.coll.sync_wait_s", obs::latency_bounds_s())
-        .observe(sync_wait);
+    metrics->quantile("mpi.coll.sync_wait_s").observe(sync_wait);
     // How far behind the last arriver this rank showed up: the straggler
     // itself observes lag 0, everyone it kept waiting observes its slack.
-    metrics->histogram("mpi.coll.straggler_lag_s", obs::latency_bounds_s())
+    metrics->quantile("mpi.coll.straggler_lag_s")
         .observe(done.max_arrival - arrival);
     ++metrics->counter(std::string("mpi.coll.calls.") + to_string(kind));
   }

@@ -1,5 +1,6 @@
 #include "mpi/runtime.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "mpi/p2p.hpp"
 #include "mpi/trace.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace parcoll::mpi {
 
@@ -65,8 +67,129 @@ void World::run(std::function<void(Rank&)> program) {
       rank_times_[static_cast<std::size_t>(r)] = self.times().breakdown();
     });
   }
+  if (sampler_ != nullptr) {
+    schedule_sample(0.0);
+  }
   engine_.run();
   elapsed_ = engine_.now();
+}
+
+obs::TimeSeriesSampler& World::enable_sampler(double interval) {
+  if (ran_) {
+    throw std::logic_error(
+        "World::enable_sampler: enable the sampler before run()");
+  }
+  if (sampler_) {
+    return *sampler_;
+  }
+  sampler_ = std::make_unique<obs::TimeSeriesSampler>(interval);
+  const int nranks = model_.topology.nranks();
+  live_times_.assign(static_cast<std::size_t>(nranks), nullptr);
+
+  // Engine throughput: cumulative events, exported as events/s.
+  sampler_->add_probe(
+      "engine.events",
+      [this] { return static_cast<double>(engine_.stats().events_executed); },
+      /*rate=*/true);
+
+  // Per-OST pressure: seconds of backlog, payload bytes in flight, and
+  // cumulative service seconds (exported as utilization via the rate).
+  for (int i = 0; i < model_.storage.num_osts; ++i) {
+    const auto index = static_cast<std::size_t>(i);
+    sampler_->add_probe(
+        obs::MetricsRegistry::indexed("fs.ost.queue_depth_s", index),
+        [this, index] {
+          return std::max(0.0,
+                          fs_->ost(index).busy_until() - engine_.now());
+        });
+    sampler_->add_probe(
+        obs::MetricsRegistry::indexed("fs.ost.inflight_bytes", index),
+        [this, index] {
+          return static_cast<double>(
+              fs_->ost(index).inflight_bytes(engine_.now()));
+        });
+    sampler_->add_probe(
+        obs::MetricsRegistry::indexed("fs.ost.util", index),
+        [this, index] { return fs_->ost(index).service_seconds(); },
+        /*rate=*/true);
+  }
+
+  // Per-rank blocked-time categories: cumulative seconds per category,
+  // read from the live account while the rank runs and from the collected
+  // breakdown after it finishes.
+  for (int r = 0; r < nranks; ++r) {
+    for (std::size_t c = 0; c < kNumTimeCats; ++c) {
+      sampler_->add_probe(
+          obs::MetricsRegistry::indexed(
+              std::string("mpi.rank.") +
+                  to_string(static_cast<TimeCat>(c)) + "_s",
+              static_cast<std::size_t>(r)),
+          [this, r, c] {
+            const TimeBreakdown* live =
+                live_times_[static_cast<std::size_t>(r)];
+            if (live != nullptr) return live->seconds[c];
+            return rank_times_.empty()
+                       ? 0.0
+                       : rank_times_[static_cast<std::size_t>(r)].seconds[c];
+          });
+    }
+  }
+  return *sampler_;
+}
+
+void World::schedule_sample(double at) {
+  engine_.post(at, [this, at] {
+    sampler_->sample(engine_.now());
+    // Re-post only while fibers are live: the run ends when the queue
+    // drains, so an unconditional tick would keep it alive forever. One
+    // trailing tick may land after the last rank finishes, rounding the
+    // engine's final time up by at most one interval — acceptable, since
+    // bit-identity pins apply to unsampled runs only.
+    if (engine_.live_processes() > 0) {
+      schedule_sample(at + sampler_->interval());
+    }
+  });
+}
+
+void World::set_job(int client, const std::string& job) {
+  if (client < 0) {
+    throw std::invalid_argument("World::set_job: negative client id");
+  }
+  if (client_jobs_.size() <= static_cast<std::size_t>(client)) {
+    client_jobs_.resize(static_cast<std::size_t>(client) + 1);
+  }
+  client_jobs_[static_cast<std::size_t>(client)] = job;
+  fs_->set_jobs(&client_jobs_);
+}
+
+void World::set_job_all(const std::string& job) {
+  for (int r = 0; r < nranks(); ++r) {
+    set_job(r, job);
+  }
+}
+
+const std::string& World::job_of(int client) const {
+  static const std::string kEmpty;
+  if (client < 0 || static_cast<std::size_t>(client) >= client_jobs_.size()) {
+    return kEmpty;
+  }
+  return client_jobs_[static_cast<std::size_t>(client)];
+}
+
+bool World::register_times(int rank, const TimeBreakdown* times) {
+  if (rank < 0 || static_cast<std::size_t>(rank) >= live_times_.size() ||
+      live_times_[static_cast<std::size_t>(rank)] != nullptr) {
+    return false;
+  }
+  live_times_[static_cast<std::size_t>(rank)] = times;
+  return true;
+}
+
+void World::unregister_times(int rank, const TimeBreakdown* times) {
+  if (rank >= 0 && static_cast<std::size_t>(rank) < live_times_.size() &&
+      live_times_[static_cast<std::size_t>(rank)] == times) {
+    live_times_[static_cast<std::size_t>(rank)] = nullptr;
+  }
 }
 
 Rank::Rank(World& world, int rank)
@@ -78,7 +201,12 @@ Rank::Rank(World& world, int rank)
     times_.attach_tracer(world.tracer(), world.engine().now_address(), rank,
                          static_cast<std::uint64_t>(pid_));
   }
+  // The account lives on this fiber's stack; expose it to the sampler for
+  // exactly the Rank's lifetime.
+  world.register_times(rank, &times_.breakdown());
 }
+
+Rank::~Rank() { world_.unregister_times(rank_, &times_.breakdown()); }
 
 Tracer& World::enable_tracing() {
   if (!tracer_) {

@@ -32,6 +32,7 @@ enum class StoreMode;
 
 namespace parcoll::obs {
 class MetricsRegistry;
+class TimeSeriesSampler;
 }  // namespace parcoll::obs
 
 namespace parcoll::check {
@@ -87,6 +88,33 @@ class World {
   obs::MetricsRegistry& enable_metrics();
   [[nodiscard]] obs::MetricsRegistry* metrics() { return metrics_.get(); }
 
+  /// Turn on time-series telemetry, sampled every `interval` seconds of
+  /// virtual time (call before run()). Registers the standard probes:
+  /// engine event throughput, per-OST queue depth / in-flight bytes /
+  /// utilization, and per-rank blocked-time categories; model layers
+  /// created later (burst-buffer stores) add their own. Null when disabled
+  /// — no tick is ever scheduled, so unsampled runs stay bit-identical.
+  obs::TimeSeriesSampler& enable_sampler(double interval);
+  [[nodiscard]] obs::TimeSeriesSampler* sampler() { return sampler_.get(); }
+
+  /// Per-tenant attribution: name the job that client id `client` (a rank,
+  /// or a synthetic drain/scrub client) belongs to. `set_job_all` tags
+  /// every rank at once. Tags flow into fs-layer accounting ("{job=...}"
+  /// metric slices) and the folded-stack exporter.
+  void set_job(int client, const std::string& job);
+  void set_job_all(const std::string& job);
+  [[nodiscard]] const std::string& job_of(int client) const;
+  [[nodiscard]] const std::vector<std::string>& client_jobs() const {
+    return client_jobs_;
+  }
+
+  /// Live per-rank time-breakdown registry for the sampler (the accounts
+  /// live on rank fiber stacks; registration bounds their visibility).
+  /// First-wins: a helper Rank sharing the id of a live main Rank is not
+  /// registered (returns false), so its teardown cannot blind the sampler.
+  bool register_times(int rank, const TimeBreakdown* times);
+  void unregister_times(int rank, const TimeBreakdown* times);
+
   /// Install a collective-correctness observer (non-owning; call before
   /// run()). Null when absent: every hook site guards with
   /// `if (auto* chk = world.checker())`, so normal runs pay one pointer
@@ -134,6 +162,7 @@ class World {
 
  private:
   void schedule_scrub(double at);
+  void schedule_sample(double at);
 
   machine::MachineModel model_;
   sim::Engine engine_;
@@ -143,6 +172,11 @@ class World {
   std::unique_ptr<fs::LustreSim> fs_;
   Comm world_comm_;
   std::vector<TimeBreakdown> rank_times_;
+  // Declared before objects_ so shared model objects (burst-buffer stores)
+  // can deregister their probes from a still-alive sampler on teardown.
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;
+  std::vector<const TimeBreakdown*> live_times_;
+  std::vector<std::string> client_jobs_;
   std::unordered_map<std::string, std::shared_ptr<void>> objects_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
@@ -160,6 +194,7 @@ class World {
 class Rank {
  public:
   Rank(World& world, int rank);
+  ~Rank();
 
   Rank(const Rank&) = delete;
   Rank& operator=(const Rank&) = delete;

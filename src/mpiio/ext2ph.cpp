@@ -9,6 +9,7 @@
 #include "mpi/collectives.hpp"
 #include "mpi/p2p.hpp"
 #include "mpi/trace.hpp"
+#include "obs/metrics.hpp"
 
 namespace parcoll::mpiio {
 
@@ -411,6 +412,7 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
 
   std::vector<std::byte> window_buffer;
   for (std::uint64_t t = 0; t < plan.ntimes; ++t) {
+    const double cycle_begin = self.now();
     mpi::SpanGuard cycle_span(self, obs::SpanKind::Stage, "cycle",
                               /*group=*/-1, static_cast<std::int64_t>(t));
     // My pieces for each aggregator's current window, and the size vector.
@@ -517,6 +519,9 @@ Ext2phOutcome ext2ph_write(mpi::Rank& self, const mpi::Comm& comm,
       }
     }
     ++outcome.cycles;
+    if (auto* metrics = self.world().metrics()) {
+      metrics->quantile("coll.cycle_s").observe(self.now() - cycle_begin);
+    }
   }
 
   // Trailing status agreement (ROMIO reduces error codes).
@@ -553,6 +558,7 @@ Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
 
   std::vector<std::byte> window_buffer;
   for (std::uint64_t t = 0; t < plan.ntimes; ++t) {
+    const double cycle_begin = self.now();
     mpi::SpanGuard cycle_span(self, obs::SpanKind::Stage, "cycle",
                               /*group=*/-1, static_cast<std::int64_t>(t));
     // What I want from each aggregator's window this cycle.
@@ -660,6 +666,9 @@ Ext2phOutcome ext2ph_read(mpi::Rank& self, const mpi::Comm& comm,
       }
     }
     ++outcome.cycles;
+    if (auto* metrics = self.world().metrics()) {
+      metrics->quantile("coll.cycle_s").observe(self.now() - cycle_begin);
+    }
   }
   return outcome;
 }

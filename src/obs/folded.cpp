@@ -1,0 +1,108 @@
+#include "obs/folded.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "obs/span.hpp"
+
+namespace parcoll::obs {
+
+namespace {
+
+/// One flamegraph frame for a span: structural spans show their kind and
+/// name (plus subgroup/cycle labels), Phase leaves show the time category.
+std::string frame_of(const Span& span) {
+  char buf[64];
+  switch (span.kind) {
+    case SpanKind::Phase:
+      return mpi::to_string(span.cat);
+    case SpanKind::Subgroup:
+      std::snprintf(buf, sizeof(buf), "subgroup#%lld",
+                    static_cast<long long>(span.group));
+      return buf;
+    case SpanKind::Stage:
+      if (span.cycle >= 0) {
+        std::snprintf(buf, sizeof(buf), "%s#%lld", span.name,
+                      static_cast<long long>(span.cycle));
+        return buf;
+      }
+      return span.name;
+    case SpanKind::Call:
+    case SpanKind::Drain:
+    case SpanKind::Scrub:
+      return span.name;
+  }
+  return span.name;
+}
+
+}  // namespace
+
+std::string folded_stacks(const SpanStore& store,
+                          const std::vector<std::string>* rank_jobs) {
+  const std::vector<Span>& spans = store.spans();
+  // Self time = duration - sum of direct children's durations. Index 0 is
+  // the virtual root (parent of top-level spans).
+  std::vector<double> child_sum(spans.size() + 1, 0.0);
+  for (const Span& span : spans) {
+    child_sum[static_cast<std::size_t>(span.parent)] += span.end - span.begin;
+  }
+  std::map<std::string, unsigned long long> lines;
+  std::vector<const Span*> chain;
+  for (const Span& span : spans) {
+    const double self =
+        (span.end - span.begin) - child_sum[static_cast<std::size_t>(span.id)];
+    if (self <= 0.0) continue;
+    const auto weight =
+        static_cast<unsigned long long>(std::llround(self * 1e9));
+    if (weight == 0) continue;
+    chain.clear();
+    for (const Span* s = &span;;) {
+      chain.push_back(s);
+      if (s->parent == kNoSpan) break;
+      s = &store.at(s->parent);
+    }
+    std::string stack;
+    if (rank_jobs != nullptr && span.rank >= 0 &&
+        static_cast<std::size_t>(span.rank) < rank_jobs->size() &&
+        !(*rank_jobs)[static_cast<std::size_t>(span.rank)].empty()) {
+      stack += "job:";
+      stack += (*rank_jobs)[static_cast<std::size_t>(span.rank)];
+      stack += ';';
+    }
+    char rank_frame[24];
+    std::snprintf(rank_frame, sizeof(rank_frame), "rank_%04d", span.rank);
+    stack += rank_frame;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      stack += ';';
+      stack += frame_of(**it);
+    }
+    lines[stack] += weight;
+  }
+  std::string out;
+  for (const auto& [stack, weight] : lines) {
+    out += stack;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %llu\n", weight);
+    out += buf;
+  }
+  return out;
+}
+
+unsigned long long folded_total_weight(const std::string& text) {
+  unsigned long long total = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::size_t space = text.rfind(' ', eol);
+    if (space != std::string::npos && space >= pos) {
+      total += std::strtoull(text.c_str() + space + 1, nullptr, 10);
+    }
+    pos = eol + 1;
+  }
+  return total;
+}
+
+}  // namespace parcoll::obs

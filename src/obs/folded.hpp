@@ -1,0 +1,33 @@
+// Folded-stack flamegraph export from the span tree.
+//
+// Emits the classic collapsed-stack format consumed by flamegraph.pl and
+// inferno ("frame;frame;frame weight" per line), with virtual-time weights
+// in integer nanoseconds. Each span contributes its *self* time (duration
+// minus enclosed children), so the summed weight of the file equals the
+// root spans' total duration up to rounding — the whole-tree invariant the
+// tests pin within 1%.
+//
+// Stack roots are "rank_0003" frames (the span's recording rank), with an
+// optional "job:NAME" frame above them when a rank→job table is supplied,
+// so a flamegraph of a multi-tenant run splits by tenant at the top.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parcoll::obs {
+
+class SpanStore;
+
+/// Collapsed stacks of the whole span tree. `rank_jobs` (optional) maps
+/// rank id -> job name ("" for untagged); out-of-range ranks (drain/scrub
+/// helper clients) are untagged. Identical stacks are merged; lines are
+/// sorted, so output is deterministic.
+[[nodiscard]] std::string folded_stacks(
+    const SpanStore& spans,
+    const std::vector<std::string>* rank_jobs = nullptr);
+
+/// Total weight (nanoseconds) of a folded-stack document, for validation.
+[[nodiscard]] unsigned long long folded_total_weight(const std::string& text);
+
+}  // namespace parcoll::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace parcoll::obs {
 
@@ -41,6 +42,10 @@ double& MetricsRegistry::gauge(const std::string& name) {
   return gauges_[name];
 }
 
+double& MetricsRegistry::gauge(const std::string& name, std::size_t index) {
+  return gauges_[indexed(name, index)];
+}
+
 void MetricsRegistry::gauge_max(const std::string& name, double value) {
   auto [it, inserted] = gauges_.try_emplace(name, value);
   if (!inserted) {
@@ -59,8 +64,15 @@ HistogramData& MetricsRegistry::histogram(const std::string& name,
   if (inserted) {
     it->second.bounds = bounds;
     it->second.counts.resize(bounds.size() + 1, 0);
+  } else if (it->second.bounds != bounds) {
+    throw std::invalid_argument("MetricsRegistry::histogram(\"" + name +
+                                "\"): bucket bounds differ from first use");
   }
   return it->second;
+}
+
+QuantileHistogram& MetricsRegistry::quantile(const std::string& name) {
+  return quantiles_[name];
 }
 
 std::string MetricsRegistry::indexed(const std::string& name,
@@ -68,6 +80,15 @@ std::string MetricsRegistry::indexed(const std::string& name,
   char suffix[16];
   std::snprintf(suffix, sizeof(suffix), "[%04zu]", index);
   return name + suffix;
+}
+
+std::string MetricsRegistry::job_key(const std::string& name,
+                                     std::string_view job) {
+  std::string key = name;
+  key += "{job=";
+  key += job;
+  key += '}';
+  return key;
 }
 
 const std::vector<double>& latency_bounds_s() {

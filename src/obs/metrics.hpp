@@ -12,7 +12,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/quantile.hpp"
 
 namespace parcoll::obs {
 
@@ -42,14 +45,24 @@ class MetricsRegistry {
 
   /// Last-value gauge.
   double& gauge(const std::string& name);
+  /// Indexed gauge series, e.g. gauge("fs.ost.service_s", ost_index).
+  double& gauge(const std::string& name, std::size_t index);
   /// Running-maximum gauge (e.g. peak queue depth).
   void gauge_max(const std::string& name, double value);
   void gauge_max(const std::string& name, std::size_t index, double value);
 
-  /// Histogram with the given bucket bounds; bounds are fixed on first use
-  /// and later calls with the same name reuse the existing instrument.
+  /// Histogram with the given bucket bounds; bounds are fixed on first
+  /// use. A later call with the same name must pass the same bounds —
+  /// mismatched bounds throw std::invalid_argument instead of being
+  /// silently ignored (two call sites disagreeing on the layout is a bug,
+  /// and the loser's data would land in buckets it never asked for).
   HistogramData& histogram(const std::string& name,
                            const std::vector<double>& bounds);
+
+  /// Log-bucketed quantile histogram (~1% relative error); created empty
+  /// on first use. The standard latency instruments (RPC, OST service,
+  /// collective cycles, drain waits) record here.
+  QuantileHistogram& quantile(const std::string& name);
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
@@ -60,15 +73,26 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, HistogramData>& histograms() const {
     return histograms_;
   }
+  [[nodiscard]] const std::map<std::string, QuantileHistogram>& quantiles()
+      const {
+    return quantiles_;
+  }
 
   /// "name[0003]": zero-padded so lexicographic order == numeric order.
   [[nodiscard]] static std::string indexed(const std::string& name,
                                            std::size_t index);
 
+  /// "name{job=astro}": the per-tenant slice of an instrument. Every
+  /// job-attributed series/counter/histogram uses this suffix so exports
+  /// group naturally and downstream tooling can split on "{job=".
+  [[nodiscard]] static std::string job_key(const std::string& name,
+                                           std::string_view job);
+
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
   std::map<std::string, HistogramData> histograms_;
+  std::map<std::string, QuantileHistogram> quantiles_;
 };
 
 /// Shared bucket layouts (seconds) for the standard latency histograms.

@@ -1,0 +1,117 @@
+#include "obs/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/json.hpp"
+
+namespace parcoll::obs {
+
+namespace {
+// 1 / log(kGamma), precomputed once; the bucket index is a single log and
+// multiply per observation.
+const double kInvLogGamma = 1.0 / std::log(QuantileHistogram::kGamma);
+}  // namespace
+
+std::size_t QuantileHistogram::bucket_of(double value) {
+  if (value <= kMin) {
+    return 0;
+  }
+  const double index = std::floor(std::log(value / kMin) * kInvLogGamma);
+  if (index >= static_cast<double>(kBuckets - 1)) {
+    return kBuckets - 1;
+  }
+  return static_cast<std::size_t>(index);
+}
+
+double QuantileHistogram::bucket_value(std::size_t i) {
+  // Geometric midpoint of [kMin·γ^i, kMin·γ^(i+1)): the estimate is off by
+  // at most a factor of √γ ≈ 1.01 from any value in the bucket.
+  return kMin * std::pow(kGamma, static_cast<double>(i) + 0.5);
+}
+
+void QuantileHistogram::observe(double value) {
+  if (counts_.empty()) {
+    counts_.assign(kBuckets + 1, 0);
+  }
+  if (value <= 0.0) {
+    ++counts_[kBuckets];  // non-positive: its own slot, reported as 0
+  } else {
+    ++counts_[bucket_of(value)];
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void QuantileHistogram::merge(const QuantileHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (counts_.empty()) {
+    counts_.assign(kBuckets + 1, 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double QuantileHistogram::quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are tracked exactly; don't pay bucket error there.
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  // The rank of the order statistic we estimate: the smallest observation
+  // with at least ⌈q·n⌉ observations at or below it.
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = counts_[kBuckets];  // non-positive values sort first
+  if (seen >= target && seen > 0) {
+    return std::min(0.0, min_);
+  }
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen >= target) {
+      return std::clamp(bucket_value(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+JsonValue QuantileHistogram::summary_json() const {
+  JsonValue doc = JsonValue::object();
+  doc.set("count", count_);
+  doc.set("sum_s", sum_);
+  doc.set("min_s", min());
+  doc.set("max_s", max());
+  doc.set("mean_s", mean());
+  doc.set("p50_s", quantile(0.50));
+  doc.set("p95_s", quantile(0.95));
+  doc.set("p99_s", quantile(0.99));
+  doc.set("p999_s", quantile(0.999));
+  return doc;
+}
+
+}  // namespace parcoll::obs

@@ -106,6 +106,12 @@ JsonValue metrics_json(const MetricsRegistry& metrics) {
     histograms.set(name, std::move(entry));
   }
   doc.set("histograms", std::move(histograms));
+
+  JsonValue quantiles = JsonValue::object();
+  for (const auto& [name, q] : metrics.quantiles()) {
+    quantiles.set(name, q.summary_json());
+  }
+  doc.set("quantiles", std::move(quantiles));
   return doc;
 }
 

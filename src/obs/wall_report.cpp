@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
 namespace parcoll::obs {
@@ -59,9 +60,80 @@ std::string format_seconds(double s) {
   return buf;
 }
 
+/// Parse "prefix[0003]" -> 3. The zero-padded index suffix is what
+/// MetricsRegistry::indexed produces.
+bool indexed_name(const std::string& key, const std::string& prefix,
+                  int* index) {
+  if (key.size() < prefix.size() + 3 ||
+      key.compare(0, prefix.size(), prefix) != 0 ||
+      key[prefix.size()] != '[' || key.back() != ']') {
+    return false;
+  }
+  int value = 0;
+  for (std::size_t i = prefix.size() + 1; i + 1 < key.size(); ++i) {
+    const char c = key[i];
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + (c - '0');
+  }
+  *index = value;
+  return true;
+}
+
+/// Fold the fs-layer metrics into the report: per-OST load rows and the
+/// tail-latency summaries of every (non-job-sliced) quantile instrument.
+void fold_metrics(WallReport& report, const MetricsRegistry& metrics) {
+  std::map<int, OstWall> osts;
+  int index = 0;
+  for (const auto& [key, value] : metrics.gauges()) {
+    if (indexed_name(key, "fs.ost.service_s", &index)) {
+      osts[index].service_s = value;
+    } else if (indexed_name(key, "fs.ost.queue_depth_s", &index)) {
+      osts[index].peak_queue_s = value;
+    }
+  }
+  for (const auto& [key, value] : metrics.counters()) {
+    if (indexed_name(key, "fs.ost.rpcs", &index)) {
+      osts[index].rpcs = value;
+    } else if (indexed_name(key, "fs.ost.bytes", &index)) {
+      osts[index].bytes = value;
+    }
+  }
+  for (auto& [ost, wall] : osts) {
+    wall.ost = ost;
+    report.osts.push_back(wall);
+  }
+  std::sort(report.osts.begin(), report.osts.end(),
+            [](const OstWall& a, const OstWall& b) {
+              if (a.service_s != b.service_s) return a.service_s > b.service_s;
+              return a.ost < b.ost;
+            });
+
+  for (const auto& [key, hist] : metrics.quantiles()) {
+    if (hist.count() == 0 || key.find("{job=") != std::string::npos) {
+      continue;  // per-job slices stay in the metrics dump, not here
+    }
+    LatencySummary summary;
+    summary.name = key;
+    summary.count = hist.count();
+    summary.p50 = hist.quantile(0.50);
+    summary.p95 = hist.quantile(0.95);
+    summary.p99 = hist.quantile(0.99);
+    summary.p999 = hist.quantile(0.999);
+    summary.max = hist.max();
+    report.latencies.push_back(std::move(summary));
+  }
+}
+
 }  // namespace
 
 WallReport build_wall_report(const SpanStore& store) {
+  return build_wall_report(store, nullptr);
+}
+
+WallReport build_wall_report(const SpanStore& store,
+                             const MetricsRegistry* metrics) {
   WallReport report;
   std::map<CycleKey, CycleAccum> accums;
   std::map<std::int64_t, double> group_sync;
@@ -199,6 +271,9 @@ WallReport build_wall_report(const SpanStore& store) {
   std::sort(report.stage_shares.begin(), report.stage_shares.end(), by_seconds);
   std::sort(report.category_shares.begin(), report.category_shares.end(),
             by_seconds);
+  if (metrics != nullptr) {
+    fold_metrics(report, *metrics);
+  }
   return report;
 }
 
@@ -291,6 +366,42 @@ std::string format_wall_report(const WallReport& report, int top) {
   if (shown == 0) {
     os << "  (none)\n";
   }
+
+  if (!report.osts.empty()) {
+    os << "\n-- busiest OSTs (by service time) --\n";
+    shown = 0;
+    for (const OstWall& ost : report.osts) {
+      if (shown >= top) break;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  ost %4d: service %s s, peak queue %s s, %llu rpcs, "
+                    "%llu bytes\n",
+                    ost.ost, format_seconds(ost.service_s).c_str(),
+                    format_seconds(ost.peak_queue_s).c_str(),
+                    static_cast<unsigned long long>(ost.rpcs),
+                    static_cast<unsigned long long>(ost.bytes));
+      os << line;
+      ++shown;
+    }
+  }
+
+  if (!report.latencies.empty()) {
+    os << "\n-- latency quantiles --\n";
+    for (const LatencySummary& lat : report.latencies) {
+      os << "  " << lat.name;
+      for (std::size_t pad = lat.name.size(); pad < 24; ++pad) os << ' ';
+      char line[200];
+      std::snprintf(line, sizeof(line),
+                    "n=%llu p50=%s p95=%s p99=%s p99.9=%s max=%s\n",
+                    static_cast<unsigned long long>(lat.count),
+                    format_seconds(lat.p50).c_str(),
+                    format_seconds(lat.p95).c_str(),
+                    format_seconds(lat.p99).c_str(),
+                    format_seconds(lat.p999).c_str(),
+                    format_seconds(lat.max).c_str());
+      os << line;
+    }
+  }
   return os.str();
 }
 
@@ -354,6 +465,35 @@ JsonValue wall_report_json(const WallReport& report, int top) {
     ++shown;
   }
   doc.set("worst_cycles", std::move(cycles));
+
+  JsonValue osts = JsonValue::array();
+  shown = 0;
+  for (const OstWall& ost : report.osts) {
+    if (shown >= top) break;
+    JsonValue entry = JsonValue::object();
+    entry.set("ost", ost.ost)
+        .set("service_s", ost.service_s)
+        .set("peak_queue_s", ost.peak_queue_s)
+        .set("rpcs", ost.rpcs)
+        .set("bytes", ost.bytes);
+    osts.push(std::move(entry));
+    ++shown;
+  }
+  doc.set("osts", std::move(osts));
+
+  JsonValue latencies = JsonValue::array();
+  for (const LatencySummary& lat : report.latencies) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", lat.name)
+        .set("count", lat.count)
+        .set("p50_s", lat.p50)
+        .set("p95_s", lat.p95)
+        .set("p99_s", lat.p99)
+        .set("p999_s", lat.p999)
+        .set("max_s", lat.max);
+    latencies.push(std::move(entry));
+  }
+  doc.set("latencies", std::move(latencies));
   return doc;
 }
 

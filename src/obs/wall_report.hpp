@@ -20,6 +20,7 @@ namespace parcoll::obs {
 
 class SpanStore;
 class JsonValue;
+class MetricsRegistry;
 
 /// One attribution unit: all sync recorded under a single
 /// (call, subgroup, cycle, stage) key across ranks.
@@ -49,6 +50,26 @@ struct WallShare {
   double seconds = 0;
 };
 
+/// Per-OST load summary, from the fs-layer metrics (empty without them).
+struct OstWall {
+  int ost = 0;
+  double service_s = 0;       // cumulative busy time served
+  double peak_queue_s = 0;    // worst backlog seen at RPC issue
+  std::uint64_t rpcs = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// p50/p95/p99/p99.9 summary of one latency instrument.
+struct LatencySummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+  double p999 = 0;
+  double max = 0;
+};
+
 struct WallReport {
   double total_seconds = 0;       // wall-clock span of all traced activity
   double total_sync = 0;          // all Sync phase time, everywhere
@@ -64,6 +85,11 @@ struct WallReport {
   double drain_seconds = 0;       // total Drain-span work
   double drain_hidden = 0;        // drain work hidden behind the foreground
   double drain_exposed_wait = 0;  // summed DrainWait (ranks blocked on bb)
+  /// Busiest OSTs by service time (from metrics; empty without them).
+  std::vector<OstWall> osts;
+  /// Tail-latency summaries of the quantile instruments (RPC latency,
+  /// collective cycles, sync waits, drain waits; empty without metrics).
+  std::vector<LatencySummary> latencies;
 
   [[nodiscard]] double coverage() const {
     return total_sync > 0 ? attributed_sync / total_sync : 1.0;
@@ -71,6 +97,12 @@ struct WallReport {
 };
 
 [[nodiscard]] WallReport build_wall_report(const SpanStore& store);
+
+/// As above, and additionally fold in the fs-layer metrics: per-OST load
+/// (service time, peak queue, RPCs, bytes) and the tail-latency quantile
+/// summaries. `metrics` may be null (plain span-only report).
+[[nodiscard]] WallReport build_wall_report(const SpanStore& store,
+                                           const MetricsRegistry* metrics);
 
 /// Human-readable report (the `--wall-report` output): coverage line, top
 /// stragglers, worst cycles, and the share tables.

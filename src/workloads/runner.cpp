@@ -60,6 +60,12 @@ void apply_observability(mpi::World& world, const RunSpec& spec) {
   if (spec.metrics) {
     world.enable_metrics();
   }
+  if (spec.sample_interval > 0) {
+    world.enable_sampler(spec.sample_interval);
+  }
+  if (!spec.job.empty()) {
+    world.set_job_all(spec.job);
+  }
   if (spec.schedule.kind != sim::TieBreak::Program) {
     world.engine().set_schedule(spec.schedule);
   }
@@ -96,6 +102,10 @@ RunResult collect(const mpi::World& world, const PhaseClock& clock,
     result.metrics =
         std::make_shared<obs::MetricsRegistry>(*mutable_world.metrics());
   }
+  if (mutable_world.sampler() != nullptr) {
+    result.timeline = mutable_world.sampler()->snapshot();
+  }
+  result.jobs = world.client_jobs();
   return result;
 }
 

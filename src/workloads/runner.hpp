@@ -16,6 +16,7 @@
 #include "mpiio/stats.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/engine.hpp"
 #include "sim/schedule.hpp"
 
@@ -54,6 +55,13 @@ struct RunSpec {
   bool trace = false;
   /// Record counters/gauges/histograms; the result carries the registry.
   bool metrics = false;
+  /// Virtual-time telemetry sampling interval in seconds; 0 (the default)
+  /// disables the sampler entirely, keeping the run bit-identical. When
+  /// set, the result carries the timeline snapshot.
+  double sample_interval = 0;
+  /// Tenant name applied to every rank of the run ("" = untagged). Flows
+  /// into per-job metric slices and the folded-stack exporter.
+  std::string job;
   machine::Mapping mapping = machine::Mapping::Block;
   /// Processes per physical node (the paper's dual-core PEs).
   int cores_per_node = 2;
@@ -103,6 +111,11 @@ struct RunResult {
   /// Set when RunSpec::metrics was on; also mirrors FileStats ("stats.*")
   /// and fault counters ("fault.*") at collect time.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Set when RunSpec::sample_interval was > 0: the run's time-series
+  /// telemetry snapshot (per-OST pressure, bb occupancy, per-rank time).
+  std::shared_ptr<obs::TimeSeries> timeline;
+  /// Rank -> job table of the run (empty when no tenant tags were set).
+  std::vector<std::string> jobs;
   fault::FaultCounters faults;        // degraded-mode events, all ranks
   std::string schedule_token;         // replay token of the executed schedule
   std::uint64_t choice_points = 0;    // equal-time ties the policy resolved

@@ -351,9 +351,13 @@ TEST(RunExport, MetricsMigrationAndDocument) {
 
   // Collective instrumentation recorded sync waits.
   EXPECT_GT(counters.at("mpi.coll.calls.barrier"), 0u);
-  const auto& hists = result.metrics->histograms();
-  ASSERT_TRUE(hists.count("mpi.coll.sync_wait_s"));
-  EXPECT_GT(hists.at("mpi.coll.sync_wait_s").count, 0u);
+  const auto& quants = result.metrics->quantiles();
+  ASSERT_TRUE(quants.count("mpi.coll.sync_wait_s"));
+  EXPECT_GT(quants.at("mpi.coll.sync_wait_s").count(), 0u);
+  ASSERT_TRUE(quants.count("fs.rpc.latency_s"));
+  EXPECT_GT(quants.at("fs.rpc.latency_s").count(), 0u);
+  ASSERT_TRUE(quants.count("coll.cycle_s"));
+  EXPECT_GT(quants.at("coll.cycle_s").count(), 0u);
   // Per-OST I/O series populated.
   bool has_ost_bytes = false;
   for (const auto& [name, value] : counters) {

@@ -9,16 +9,29 @@
 // Usage:
 //   bench_to_trajectory --out BENCH_smoke.json --label pr5 \
 //       abl_group_size.json abl_seeds.json ...
+//   bench_to_trajectory --check-regression BENCH_smoke.json 2 \
+//       abl_group_size.json abl_seeds.json ...
 //
 // When --out already exists and is a valid trajectory document, the new
 // entry is appended to its "runs" array; otherwise a fresh document is
 // started. Exit status 0 on success, 2 on usage errors, 1 when an input
 // cannot be read or parsed.
+//
+// --check-regression BASELINE.json PCT compares the inputs against the
+// *last* run recorded in the baseline trajectory and exits non-zero when
+// any deterministic perf key worsened by more than PCT percent. Only
+// virtual-time metrics are gated (bandwidth, elapsed, durability, latency
+// quantiles) — host-wall throughput (events_per_s, wall_s, ...) varies
+// machine to machine and is reported but never gated. Points or keys the
+// baseline lacks are skipped, so new benches and new keys land cleanly.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <cstdlib>
 
 #include "obs/json.hpp"
 #include "obs/run_export.hpp"
@@ -59,6 +72,8 @@ JsonValue fold_bench(const JsonValue& doc) {
       for (const char* key :
            {"series", "nprocs", "bandwidth_mib_s", "elapsed_s",
             "sync_fraction",
+            // tail-latency rows: virtual-time quantile trend signal.
+            "rpc_p50_s", "rpc_p99_s", "cycle_p50_s", "cycle_p99_s",
             // burst-buffer rows: write-behind trend signal.
             "durable_elapsed_s", "drain_s", "drain_wait_s", "bb_spills",
             // integrity rows: corruption-handling trend signal.
@@ -80,11 +95,114 @@ JsonValue fold_bench(const JsonValue& doc) {
   return entry;
 }
 
+/// Gated keys: deterministic virtual-time metrics only. `higher_better`
+/// says which direction is an improvement. Host-wall keys (events_per_s,
+/// wall_s, schedules_per_s, peak_rss_mib, speedup_vs_seed) are not listed:
+/// they depend on the machine running the bench, so gating them would make
+/// CI flaky by construction.
+struct GatedKey {
+  const char* key;
+  bool higher_better;
+};
+
+constexpr GatedKey kGatedKeys[] = {
+    {"bandwidth_mib_s", true},  {"elapsed_s", false},
+    {"durable_elapsed_s", false}, {"rpc_p99_s", false},
+    {"cycle_p99_s", false},
+};
+
+const JsonValue* find_bench(const JsonValue& run, const std::string& name) {
+  const JsonValue* benches = run.find("benches");
+  if (benches == nullptr) return nullptr;
+  for (const JsonValue& bench : benches->items()) {
+    const JsonValue* bench_name = bench.find("bench");
+    if (bench_name != nullptr && bench_name->as_string() == name) {
+      return &bench;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue* find_point(const JsonValue& bench, const std::string& series,
+                            double nprocs) {
+  const JsonValue* points = bench.find("points");
+  if (points == nullptr) return nullptr;
+  for (const JsonValue& point : points->items()) {
+    const JsonValue* point_series = point.find("series");
+    const JsonValue* point_nprocs = point.find("nprocs");
+    if (point_series != nullptr && point_series->as_string() == series &&
+        point_nprocs != nullptr && point_nprocs->as_double() == nprocs) {
+      return &point;
+    }
+  }
+  return nullptr;
+}
+
+/// Compare the freshly-folded run against the baseline's last run. Returns
+/// the number of regressions beyond `pct` percent.
+int check_regression(const JsonValue& fresh, const JsonValue& baseline_run,
+                     double pct) {
+  int regressions = 0;
+  int compared = 0;
+  int skipped = 0;
+  const JsonValue* benches = fresh.find("benches");
+  if (benches == nullptr) return 0;
+  for (const JsonValue& bench : benches->items()) {
+    const std::string name = bench.find("bench")->as_string();
+    const JsonValue* base_bench = find_bench(baseline_run, name);
+    if (base_bench == nullptr) {
+      std::printf("  %s: no baseline bench, skipping\n", name.c_str());
+      continue;
+    }
+    const JsonValue* points = bench.find("points");
+    if (points == nullptr) continue;
+    for (const JsonValue& point : points->items()) {
+      const JsonValue* series = point.find("series");
+      const JsonValue* nprocs = point.find("nprocs");
+      if (series == nullptr || nprocs == nullptr) continue;
+      const JsonValue* base_point =
+          find_point(*base_bench, series->as_string(), nprocs->as_double());
+      if (base_point == nullptr) {
+        ++skipped;
+        continue;
+      }
+      for (const GatedKey& gated : kGatedKeys) {
+        const JsonValue* fresh_value = point.find(gated.key);
+        const JsonValue* base_value = base_point->find(gated.key);
+        if (fresh_value == nullptr || base_value == nullptr) continue;
+        const double now = fresh_value->as_double();
+        const double base = base_value->as_double();
+        ++compared;
+        if (base == 0.0) continue;
+        // Worsening as a fraction of the baseline, signed so that
+        // improvement is negative in either direction convention.
+        const double worse = gated.higher_better ? (base - now) / base
+                                                 : (now - base) / std::abs(base);
+        if (worse * 100.0 > pct) {
+          ++regressions;
+          std::printf("  REGRESSION %s %s[n=%g] %s: %g -> %g (%.2f%% worse, "
+                      "gate %.2f%%)\n",
+                      name.c_str(), series->as_string().c_str(),
+                      nprocs->as_double(), gated.key, base, now, worse * 100.0,
+                      pct);
+        }
+      }
+    }
+  }
+  std::printf("  %d value(s) compared, %d point(s) without baseline, "
+              "%d regression(s) beyond %.2f%%\n",
+              compared, skipped, regressions, pct);
+  return regressions;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path;
   std::string label;
+  std::string baseline_path;
+  double regression_pct = 0;
+  bool check_mode = false;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -92,10 +210,15 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--label" && i + 1 < argc) {
       label = argv[++i];
+    } else if (arg == "--check-regression" && i + 2 < argc) {
+      check_mode = true;
+      baseline_path = argv[++i];
+      regression_pct = std::strtod(argv[++i], nullptr);
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: %s --out TRAJECTORY.json [--label NAME] INPUT.json...\n",
-          argv[0]);
+          "usage: %s --out TRAJECTORY.json [--label NAME] INPUT.json...\n"
+          "       %s --check-regression BASELINE.json PCT INPUT.json...\n",
+          argv[0], argv[0]);
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -104,11 +227,13 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (out_path.empty() || inputs.empty()) {
+  if ((out_path.empty() && !check_mode) || inputs.empty()) {
     std::fprintf(stderr,
                  "usage: %s --out TRAJECTORY.json [--label NAME] "
+                 "INPUT.json...\n"
+                 "       %s --check-regression BASELINE.json PCT "
                  "INPUT.json...\n",
-                 argv[0]);
+                 argv[0], argv[0]);
     return 2;
   }
 
@@ -132,6 +257,34 @@ int main(int argc, char** argv) {
     }
   }
   run.set("benches", std::move(benches));
+
+  if (check_mode) {
+    JsonValue baseline = JsonValue::object();
+    try {
+      baseline = load_json(baseline_path);
+    } catch (const std::exception& error) {
+      // A missing baseline is not a regression: the first run on a fresh
+      // branch has nothing to compare against.
+      std::printf("no baseline (%s), skipping regression check\n",
+                  error.what());
+      return 0;
+    }
+    const JsonValue* schema = baseline.find("schema");
+    const JsonValue* runs = baseline.find("runs");
+    if (schema == nullptr || schema->as_string() != kTrajectorySchema ||
+        runs == nullptr || runs->items().empty()) {
+      std::fprintf(stderr, "%s: not a trajectory document\n",
+                   baseline_path.c_str());
+      return 1;
+    }
+    const JsonValue& last = runs->items().back();
+    const JsonValue* last_label = last.find("label");
+    std::printf("checking against baseline run \"%s\" (gate %.2f%%):\n",
+                last_label != nullptr ? last_label->as_string().c_str() : "?",
+                regression_pct);
+    const int regressions = check_regression(run, last, regression_pct);
+    return regressions > 0 ? 1 : 0;
+  }
 
   // Append to an existing trajectory when the out file already holds one.
   JsonValue trajectory = JsonValue::object();

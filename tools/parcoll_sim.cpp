@@ -24,7 +24,9 @@
 #include "fault/fault.hpp"
 #include "mpi/trace.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/folded.hpp"
 #include "obs/run_export.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/wall_report.hpp"
 #include "workloads/btio.hpp"
 #include "workloads/flashio.hpp"
@@ -90,11 +92,24 @@ void usage(const char* argv0) {
       "                          Perfetto / chrome://tracing; implies tracing)\n"
       "  --gantt                 print a text timeline (implies tracing)\n"
       "  --wall-report           print the collective-wall report: per-cycle\n"
-      "                          sync attributed to the straggler rank\n"
-      "                          (implies tracing)\n"
+      "                          sync attributed to the straggler rank, the\n"
+      "                          busiest OSTs, and the latency quantiles\n"
+      "                          (implies tracing and metrics)\n"
       "  --json FILE.json        write the parcoll-run document (result,\n"
       "                          metrics, wall report; implies tracing and\n"
       "                          metrics)\n"
+      "  --sample-interval S     sample time-series telemetry every S virtual\n"
+      "                          seconds (per-OST queue depth, bb occupancy,\n"
+      "                          per-rank time, events/s); 0 = off (default)\n"
+      "  --timeline FILE.json    write the sampled timeline document (implies\n"
+      "                          --sample-interval 1e-3 if unset)\n"
+      "  --top                   print the per-interval parcoll_top report\n"
+      "                          (implies --sample-interval 1e-3 if unset)\n"
+      "  --folded FILE           write collapsed stacks for flamegraph.pl /\n"
+      "                          inferno (implies tracing)\n"
+      "  --job NAME              tag every rank with tenant NAME; metrics\n"
+      "                          gain {job=NAME} slices and folded stacks a\n"
+      "                          job: root frame\n"
       "  --fault SPEC            deterministic fault plan, e.g.\n"
       "                          \"seed=7;ost-outage=3:0.05:0.4;rpc-drop=0.02;"
       "rank-stall=5:0:0.2\"\n"
@@ -126,9 +141,12 @@ int main(int argc, char** argv) {
   bool gantt = false;
   bool wall_report = false;
   bool engine_stats = false;
+  bool top = false;
   std::string trace_path;
   std::string trace_json_path;
   std::string json_path;
+  std::string timeline_path;
+  std::string folded_path;
   RunSpec spec;
   spec.byte_true = false;
   spec.intranode = node::IntranodeMode::Auto;
@@ -264,6 +282,20 @@ int main(int argc, char** argv) {
       wall_report = true;
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--sample-interval") {
+      spec.sample_interval = std::stod(next());
+      if (spec.sample_interval < 0) {
+        std::fprintf(stderr, "--sample-interval must be >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--timeline") {
+      timeline_path = next();
+    } else if (arg == "--top") {
+      top = true;
+    } else if (arg == "--folded") {
+      folded_path = next();
+    } else if (arg == "--job") {
+      spec.job = next();
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -299,8 +331,15 @@ int main(int argc, char** argv) {
     };
   }
   spec.trace = gantt || wall_report || !trace_path.empty() ||
-               !trace_json_path.empty() || !json_path.empty();
-  spec.metrics = !json_path.empty();
+               !trace_json_path.empty() || !json_path.empty() ||
+               !folded_path.empty();
+  if ((!timeline_path.empty() || top) && spec.sample_interval <= 0) {
+    spec.sample_interval = 1e-3;  // a sensible default tick for exports
+  }
+  // Sampling implies metrics so the timeline document can carry the
+  // latency quantile summaries next to the series.
+  spec.metrics =
+      !json_path.empty() || wall_report || spec.sample_interval > 0;
 
   RunResult result;
   try {
@@ -453,8 +492,40 @@ int main(int argc, char** argv) {
     }
     if (wall_report) {
       const obs::WallReport report =
-          obs::build_wall_report(result.trace->spans());
+          obs::build_wall_report(result.trace->spans(), result.metrics.get());
       std::printf("%s", obs::format_wall_report(report).c_str());
+    }
+    if (!folded_path.empty()) {
+      const std::string folded =
+          obs::folded_stacks(result.trace->spans(), &result.jobs);
+      std::ofstream os(folded_path);
+      os << folded;
+      std::printf("folded    : %llu ns total -> %s\n",
+                  obs::folded_total_weight(folded), folded_path.c_str());
+    }
+  }
+  if (result.timeline) {
+    if (top) {
+      std::printf("%s", obs::top_report(*result.timeline).c_str());
+    }
+    if (!timeline_path.empty()) {
+      obs::JsonValue doc = result.timeline->to_json();
+      if (result.metrics) {
+        obs::JsonValue quantiles = obs::JsonValue::object();
+        for (const auto& [name, hist] : result.metrics->quantiles()) {
+          quantiles.set(name, hist.summary_json());
+        }
+        doc.set("quantiles", std::move(quantiles));
+      }
+      try {
+        obs::write_json_file(timeline_path, doc);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 1;
+      }
+      std::printf("timeline  : %zu samples x %zu series -> %s\n",
+                  result.timeline->times_s.size(),
+                  result.timeline->series.size(), timeline_path.c_str());
     }
   }
   if (!json_path.empty()) {
@@ -472,8 +543,12 @@ int main(int argc, char** argv) {
     obs::JsonValue doc = obs::run_document("parcoll_sim", std::move(config));
     doc.set("result", workloads::run_result_json(result));
     if (result.trace) {
-      doc.set("wall_report", obs::wall_report_json(
-                                 obs::build_wall_report(result.trace->spans())));
+      doc.set("wall_report",
+              obs::wall_report_json(obs::build_wall_report(
+                  result.trace->spans(), result.metrics.get())));
+    }
+    if (result.timeline) {
+      doc.set("timeline", result.timeline->to_json());
     }
     try {
       obs::write_json_file(json_path, doc);

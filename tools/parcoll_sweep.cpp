@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
   auto leader = node::LeaderPolicy::Lowest;
   bb::BbConfig bb;
   std::size_t stack_bytes = 0;
+  std::string job;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,6 +152,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--json") {
       json_path = next();
+    } else if (arg == "--job") {
+      job = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s [--workload tileio|ior|btio|flash] "
@@ -160,7 +163,7 @@ int main(int argc, char** argv) {
                    "[--no-intranode] [--leader lowest|spread] "
                    "[--bb] [--bb-capacity BYTES] "
                    "[--bb-drain immediate|watermark|deadline|arbitrate] "
-                   "[--stack-bytes N] [--json FILE.json]\n",
+                   "[--stack-bytes N] [--job NAME] [--json FILE.json]\n",
                    argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
@@ -187,6 +190,7 @@ int main(int argc, char** argv) {
       spec.intranode_leader = leader;
       spec.bb = bb;
       spec.stack_bytes = stack_bytes;
+      spec.job = job;
       std::string impl;
       if (group_str == "0") {
         spec.impl = Impl::Ext2ph;
